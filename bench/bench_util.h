@@ -1,0 +1,67 @@
+// Shared helpers for the reproduction harness binaries.
+//
+// Every bench regenerates one table or figure of the paper from a simulated
+// campaign and prints the simulated values next to the paper's published
+// numbers. Absolute values differ (the substrate is a scaled synthetic
+// Internet — see DESIGN.md); the *shape* is the reproduction target.
+//
+// The BGPATOMS_SCALE environment variable (a multiplier, default 1.0)
+// rescales every bench's workload, e.g. BGPATOMS_SCALE=0.25 for quick
+// smoke runs or 4 for larger studies.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/longitudinal.h"
+
+namespace bgpatoms::bench {
+
+inline double scale_multiplier() {
+  if (const char* env = std::getenv("BGPATOMS_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline void header(const char* id, const char* title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==================================================================\n");
+}
+
+inline void note_scale(double scale) {
+  std::printf("[synthetic Internet at scale %.4f of real size; "
+              "see EXPERIMENTS.md]\n\n",
+              scale);
+}
+
+inline std::string pct(double v, int decimals = 1) {
+  if (std::isnan(v)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, 100.0 * v);
+  return buf;
+}
+
+inline std::string num(double v, int decimals = 2) {
+  if (std::isnan(v)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+/// Prints a row "label | paper | measured".
+inline void row(const char* label, const std::string& paper,
+                const std::string& measured) {
+  std::printf("  %-38s %14s %14s\n", label, paper.c_str(), measured.c_str());
+}
+
+inline void row_header(const char* col1 = "paper", const char* col2 = "sim") {
+  std::printf("  %-38s %14s %14s\n", "", col1, col2);
+  std::printf("  %-38s %14s %14s\n", "", "-----", "---");
+}
+
+}  // namespace bgpatoms::bench

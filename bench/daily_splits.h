@@ -1,0 +1,72 @@
+// Shared daily-split campaign for Figures 6, 7 and 16 (§4.4.1): daily
+// snapshots, split detection over sliding (t, t+1, t+2) windows, observer
+// counting per event.
+#pragma once
+
+#include <deque>
+
+#include "bench_util.h"
+#include "core/splits.h"
+
+namespace bgpatoms::bench {
+
+struct DailySplitCampaign {
+  /// Per day (starting at day index 2): observer count of each split event.
+  std::vector<std::vector<std::size_t>> observers_per_day;
+  /// ASN of the single observer for 1-observer events, per day.
+  std::vector<std::vector<net::Asn>> single_observer_asn_per_day;
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& day : observers_per_day) n += day.size();
+    return n;
+  }
+};
+
+inline DailySplitCampaign run_daily_splits(int days, double scale,
+                                           std::uint64_t seed) {
+  routing::SimOptions opt;
+  opt.seed = seed;
+  opt.weekly_churn = false;
+  const auto era = topo::era_params_v4(2019.0, scale);
+  opt.daily_event_rate = era.split_events_per_day;
+  routing::Simulator sim(topo::generate_topology(era, seed), opt);
+
+  DailySplitCampaign out;
+  std::deque<core::SanitizedSnapshot> snaps;
+  std::deque<core::AtomSet> atom_sets;
+
+  for (int day = 0; day < days; ++day) {
+    sim.advance_to(day * routing::kDay);
+    const std::size_t idx = sim.capture();
+    snaps.push_back(core::sanitize(sim.dataset(), idx));
+    atom_sets.push_back(core::compute_atoms(snaps.back()));
+    if (atom_sets.size() < 3) continue;
+
+    const auto events = core::detect_splits(
+        atom_sets[atom_sets.size() - 3], atom_sets[atom_sets.size() - 2],
+        atom_sets[atom_sets.size() - 1]);
+    std::vector<std::size_t> counts;
+    std::vector<net::Asn> singles;
+    for (const auto& ev : events) {
+      counts.push_back(ev.observers.size());
+      if (ev.observers.size() == 1) {
+        singles.push_back(ev.observers[0].asn);
+      }
+    }
+    out.observers_per_day.push_back(std::move(counts));
+    out.single_observer_asn_per_day.push_back(std::move(singles));
+
+    // Rolling window: drop state older than three days. Snapshots must be
+    // dropped from the back of the window only after the AtomSets that
+    // reference them are gone.
+    if (atom_sets.size() > 3) {
+      atom_sets.pop_front();
+      snaps.pop_front();
+      sim.drop_snapshot(0);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpatoms::bench

@@ -1,0 +1,87 @@
+// Microbenchmarks for BGA archive serialization and the record reader.
+#include <benchmark/benchmark.h>
+
+#include "bgp/archive.h"
+#include "routing/simulator.h"
+#include "stream/reader.h"
+
+using namespace bgpatoms;
+
+namespace {
+
+const bgp::Dataset& dataset() {
+  static const bgp::Dataset ds = [] {
+    routing::Simulator sim(
+        topo::generate_topology(topo::era_params_v4(2020.0, 0.01), 42));
+    sim.capture();
+    sim.emit_updates(routing::kHour);
+    return std::move(sim.dataset());
+  }();
+  return ds;
+}
+
+void BM_ArchiveWrite(benchmark::State& state) {
+  const auto& ds = dataset();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto image = bgp::write_archive(ds);
+    bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["archive_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ArchiveWrite)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveRead(benchmark::State& state) {
+  const auto image = bgp::write_archive(dataset());
+  for (auto _ : state) {
+    const auto ds = bgp::read_archive(image);
+    benchmark::DoNotOptimize(ds.snapshots.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ArchiveRead)->Unit(benchmark::kMillisecond);
+
+void BM_StreamReader(benchmark::State& state) {
+  const auto& ds = dataset();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    stream::RecordReader reader(ds);
+    records = 0;
+    while (auto rec = reader.next()) {
+      benchmark::DoNotOptimize(rec->prefix);
+      ++records;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  state.counters["records"] = static_cast<double>(records);
+}
+BENCHMARK(BM_StreamReader)->Unit(benchmark::kMillisecond);
+
+void BM_PathPoolIntern(benchmark::State& state) {
+  std::vector<net::AsPath> paths;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<net::Asn> hops;
+    const int len = 2 + static_cast<int>(rng.next_below(5));
+    for (int k = 0; k < len; ++k) {
+      hops.push_back(1 + static_cast<net::Asn>(rng.next_below(5000)));
+    }
+    paths.push_back(net::AsPath::sequence(std::move(hops)));
+  }
+  for (auto _ : state) {
+    net::PathPool pool;
+    for (const auto& p : paths) benchmark::DoNotOptimize(pool.intern(p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(paths.size()));
+}
+BENCHMARK(BM_PathPoolIntern)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Shared setup for the §3 reproduction benches: the inferred 2002 input
+// dataset — snapshot of 2002-01-15 08:00 UTC, RIS collector RRC00 only,
+// 13 full-feed peers, no prefix-length filtering (§3.1.4).
+#pragma once
+
+#include "bench_util.h"
+
+namespace bgpatoms::bench {
+
+inline core::CampaignConfig repro_2002_config(double scale_multiplier_value) {
+  core::CampaignConfig config;
+  config.year = 2002.04;  // mid-January 2002
+  config.scale = 0.08 * scale_multiplier_value;
+  config.seed = 2002;
+  config.force_collectors = 1;  // RRC00 was the only global-scope collector
+  config.force_peers = 13;      // its 13 full-feed peers
+  config.force_full_feed_frac = 1.0;
+  config.sanitize.max_prefix_length = 128;  // "include all prefixes"
+  // With 13 peers on one collector, the longitudinal visibility thresholds
+  // would be anachronistic; Afek et al. considered all prefixes.
+  config.sanitize.min_collectors = 1;
+  config.sanitize.min_peer_ases = 1;
+  return config;
+}
+
+}  // namespace bgpatoms::bench

@@ -1,0 +1,72 @@
+// Minimal command-line option parser shared by the CLI tools.
+//
+// Supports "--name value", "--name=value", "-x value" and boolean
+// "--flag"; positional arguments are collected in order. Limitation: a
+// flag followed by a bare token greedily binds it as the flag's value —
+// place positional arguments before flags (all tools here do).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bgpatoms::cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.empty() || arg[0] != '-' || arg == "-") {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(arg.rfind("--", 0) == 0 ? 2 : 1);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options_[arg] = argv[++i];
+      } else {
+        options_[arg] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return options_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long get_int(const std::string& name, long fallback) const {
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Prints usage and exits when --help was passed or `condition` holds.
+  void usage_if(bool condition, const char* text) const {
+    if (condition || has("help")) {
+      std::fputs(text, stderr);
+      std::exit(condition ? 2 : 0);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bgpatoms::cli

@@ -1,0 +1,85 @@
+// Atom-aware BGP update triage (paper §7.2): classify an update stream
+// into atom-level routing events vs single-prefix noise.
+//
+// Because prefixes of one atom change paths together, an update burst that
+// covers a whole atom signals a policy change or network event, while
+// churn touching a lone prefix of a multi-prefix atom is most likely
+// noise, leakage or transient misconfiguration. This example builds that
+// filter on top of the public API.
+//
+//   $ ./examples/atom_watch [year] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/atoms.h"
+#include "core/sanitize.h"
+#include "routing/simulator.h"
+#include "topo/topology.h"
+
+using namespace bgpatoms;
+
+int main(int argc, char** argv) {
+  const double year = argc > 1 ? std::atof(argv[1]) : 2024.0;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  // Simulate a snapshot plus four hours of updates.
+  routing::Simulator sim(
+      topo::generate_topology(topo::era_params_v4(year, scale), 7));
+  sim.capture();
+  sim.emit_updates(4 * routing::kHour);
+  const bgp::Dataset& ds = sim.dataset();
+
+  // Compute the atom table once (in production: refreshed periodically).
+  const core::SanitizedSnapshot snap = core::sanitize(ds, 0);
+  const core::AtomSet atoms = core::compute_atoms(snap);
+  std::printf("atom table: %zu atoms over %zu prefixes\n\n",
+              atoms.atoms.size(), snap.prefixes.size());
+
+  // Classify every update record.
+  std::size_t whole_atom = 0, partial_small = 0, partial_large = 0,
+              single_noise = 0, unknown = 0;
+  std::unordered_map<std::uint32_t, std::size_t> hits;
+  for (const auto& rec : ds.updates) {
+    hits.clear();
+    for (bgp::PrefixId p : rec.announced) {
+      const auto it = atoms.atom_of.find(p);
+      if (it != atoms.atom_of.end()) ++hits[it->second];
+    }
+    if (hits.empty()) {
+      ++unknown;  // prefixes filtered by the sanitizer (local/corrupt)
+      continue;
+    }
+    for (const auto& [atom_idx, count] : hits) {
+      const std::size_t size = atoms.atoms[atom_idx].size();
+      if (count == size) {
+        ++whole_atom;  // the whole atom moved: a real routing event
+      } else if (size > 1 && count == 1) {
+        ++single_noise;  // one prefix of a multi-prefix atom: likely noise
+      } else if (count * 2 >= size) {
+        ++partial_large;
+      } else {
+        ++partial_small;
+      }
+    }
+  }
+
+  const double total = static_cast<double>(whole_atom + partial_small +
+                                           partial_large + single_noise);
+  std::printf("classified %zu update records (%0.f atom touches):\n",
+              ds.updates.size(), total);
+  std::printf("  whole-atom events (actionable):   %8zu (%.1f%%)\n",
+              whole_atom, 100 * whole_atom / total);
+  std::printf("  majority-of-atom updates:         %8zu (%.1f%%)\n",
+              partial_large, 100 * partial_large / total);
+  std::printf("  minority-of-atom updates:         %8zu (%.1f%%)\n",
+              partial_small, 100 * partial_small / total);
+  std::printf("  single-prefix churn (filterable): %8zu (%.1f%%)\n",
+              single_noise, 100 * single_noise / total);
+  std::printf("  touching filtered prefixes:       %8zu records\n", unknown);
+
+  std::printf("\nWith atom-level triage, %.1f%% of atom touches can be "
+              "deprioritized as probable noise (paper §7.2).\n",
+              100 * single_noise / total);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Probing-overhead reduction with policy atoms (paper §6: the iPlane /
+// Netdiff application): probe one representative per atom instead of one
+// per prefix, and quantify how accurate the atom table remains as it ages.
+//
+// iPlane refreshed its atom list every two weeks; this example measures
+// the accuracy decay that motivates that refresh interval.
+//
+//   $ ./examples/probe_reduction [age_days] [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/atoms.h"
+#include "core/sanitize.h"
+#include "routing/simulator.h"
+#include "topo/topology.h"
+
+using namespace bgpatoms;
+
+namespace {
+
+/// Share of prefixes whose current path (at every VP) still equals their
+/// atom representative's path — i.e. probing the representative still
+/// measures the right forwarding behaviour.
+double representative_accuracy(const core::AtomSet& old_atoms,
+                               const core::SanitizedSnapshot& now) {
+  std::size_t good = 0, total = 0;
+  for (const auto& atom : old_atoms.atoms) {
+    const bgp::PrefixId representative = atom.prefixes.front();
+    for (bgp::PrefixId p : atom.prefixes) {
+      ++total;
+      bool same = true;
+      for (const auto& table : now.vps) {
+        if (table.path_for(p) != table.path_for(representative)) {
+          same = false;
+          break;
+        }
+      }
+      good += same;
+    }
+  }
+  return total ? static_cast<double>(good) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int age_days = argc > 1 ? std::atoi(argv[1]) : 14;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  routing::SimOptions opt;
+  opt.seed = 23;
+  opt.weekly_churn = false;
+  const auto era = topo::era_params_v4(2019.0, scale);
+  opt.daily_event_rate = era.split_events_per_day;
+  routing::Simulator sim(topo::generate_topology(era, 23), opt);
+
+  // Day 0: compute the atom table the prober would use.
+  sim.capture();
+  const core::SanitizedSnapshot snap0 = core::sanitize(sim.dataset(), 0);
+  const core::AtomSet atoms = core::compute_atoms(snap0);
+
+  const std::size_t probes_per_prefix = snap0.prefixes.size();
+  const std::size_t probes_per_atom = atoms.atoms.size();
+  std::printf("probing plan from the day-0 atom table:\n");
+  std::printf("  per-prefix probing: %8zu targets\n", probes_per_prefix);
+  std::printf("  per-atom probing:   %8zu targets (%.1f%% reduction)\n\n",
+              probes_per_atom,
+              100.0 * (1.0 - static_cast<double>(probes_per_atom) /
+                                 static_cast<double>(probes_per_prefix)));
+
+  // Age the atom table and measure representative accuracy day by day.
+  std::printf("  %-8s %s\n", "age", "representative accuracy");
+  std::vector<int> checkpoints{1, 3, 7};
+  if (std::find(checkpoints.begin(), checkpoints.end(), age_days) ==
+      checkpoints.end()) {
+    checkpoints.push_back(age_days);
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  for (int day : checkpoints) {
+    sim.advance_to(day * routing::kDay);
+    const std::size_t idx = sim.capture();
+    const core::SanitizedSnapshot now = core::sanitize(sim.dataset(), idx);
+    std::printf("  %3d days %10.2f%%\n", day,
+                100.0 * representative_accuracy(atoms, now));
+    sim.drop_snapshot(idx);  // keep memory flat
+  }
+
+  std::printf("\nAccuracy stays high for days and erodes slowly — the\n"
+              "reason iPlane could refresh atoms every two weeks while\n"
+              "cutting probe load by the reduction above (paper §6).\n");
+  return 0;
+}

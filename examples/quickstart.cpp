@@ -1,0 +1,86 @@
+// Quickstart: simulate a small BGP measurement campaign, compute policy
+// atoms, and print the headline statistics.
+//
+//   $ ./examples/quickstart [year] [scale]
+//
+// Walks the whole public API surface: era model -> topology -> simulator ->
+// dataset -> sanitizer -> atoms -> general statistics.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/atoms.h"
+#include "core/sanitize.h"
+#include "core/stats.h"
+#include "routing/simulator.h"
+#include "topo/era.h"
+#include "topo/topology.h"
+
+using namespace bgpatoms;
+
+int main(int argc, char** argv) {
+  const double year = argc > 1 ? std::atof(argv[1]) : 2024.75;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  // 1. Pick an era: the calibrated parameters for a point in time.
+  const topo::EraParams era = topo::era_params_v4(year, scale);
+  std::printf("era %.2f: %d ASes, ~%d collector peers on %d collectors\n",
+              era.year, era.n_as, era.n_peers, era.n_collectors);
+
+  // 2. Generate the Internet of that era and simulate the measurement.
+  routing::Simulator sim(topo::generate_topology(era, /*seed=*/42));
+  sim.capture();
+  const bgp::Dataset& ds = sim.dataset();
+  std::printf("captured %zu RIB records from %zu peers\n",
+              bgp::Dataset::record_count(ds.snapshots[0]),
+              ds.snapshots[0].peers.size());
+
+  // 3. Sanitize: abnormal peers out, full-feed inference, prefix filters.
+  const core::SanitizedSnapshot snap = core::sanitize(ds, 0);
+  std::printf(
+      "sanitized: %zu full-feed peers (of %zu), %zu prefixes kept "
+      "(%zu dropped by visibility, %zu by length)\n",
+      snap.report.full_feed_peers, snap.report.peers_in,
+      snap.report.prefixes_kept, snap.report.prefixes_dropped_visibility,
+      snap.report.prefixes_dropped_length);
+  for (const auto& removed : snap.report.removed_peers) {
+    if (removed.reason != core::PeerRemovalReason::kPartialFeed) {
+      std::printf("  removed AS%u: %s (%.1f%%)\n", removed.peer.asn,
+                  core::to_string(removed.reason),
+                  100.0 * removed.artifact_share);
+    }
+  }
+
+  // 4. Compute policy atoms and report.
+  const core::AtomSet atoms = core::compute_atoms(snap);
+  const core::GeneralStats stats = core::general_stats(atoms);
+  std::printf("\n%zu prefixes / %zu ASes -> %zu atoms\n", stats.prefixes,
+              stats.ases, stats.atoms);
+  std::printf("  single-prefix atoms: %zu (%.1f%%)\n",
+              stats.atoms_with_one_prefix,
+              100.0 * stats.one_prefix_atom_share());
+  std::printf("  single-atom ASes:    %zu (%.1f%%)\n", stats.ases_with_one_atom,
+              100.0 * stats.one_atom_as_share());
+  std::printf("  atom size: mean %.2f, p99 %zu, max %zu\n",
+              stats.mean_atom_size, stats.p99_atom_size,
+              stats.largest_atom_size);
+  std::printf("  MOAS prefixes: %.2f%% (kept, as in the paper)\n",
+              100.0 * stats.moas_prefix_share);
+
+  // 5. Show one multi-prefix atom with its per-VP paths.
+  for (const auto& atom : atoms.atoms) {
+    if (atom.size() < 3 || atom.paths.size() < 2) continue;
+    std::printf("\nexample atom (origin AS%u, %zu prefixes):\n", atom.origin,
+                atom.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, atom.size()); ++i) {
+      std::printf("  %s\n", snap.prefix(atom.prefixes[i]).to_string().c_str());
+    }
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, atom.paths.size());
+         ++i) {
+      const auto& [vp, path] = atom.paths[i];
+      std::printf("  vp AS%-8u path: %s\n", snap.vps[vp].peer.asn,
+                  atoms.paths().get(path).to_string().c_str());
+    }
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,279 @@
+#include "bgp/archive.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace bgpatoms::bgp {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'G', 'A', '1'};
+
+void write_address(ByteWriter& w, const net::IpAddress& a) {
+  if (a.is_v4()) {
+    w.u32(a.v4_value());
+  } else {
+    w.u64(a.hi());
+    w.u64(a.lo());
+  }
+}
+
+net::IpAddress read_address(ByteReader& r, net::Family f) {
+  if (f == net::Family::kIPv4) return net::IpAddress::v4(r.u32());
+  const std::uint64_t hi = r.u64();
+  const std::uint64_t lo = r.u64();
+  return net::IpAddress::v6(hi, lo);
+}
+
+void write_path(ByteWriter& w, const net::AsPath& p) {
+  w.varint(p.segments().size());
+  for (const auto& seg : p.segments()) {
+    w.u8(static_cast<std::uint8_t>(seg.type));
+    w.varint(seg.asns.size());
+    for (net::Asn a : seg.asns) w.varint(a);
+  }
+}
+
+net::AsPath read_path(ByteReader& r) {
+  const std::uint64_t nseg = r.varint();
+  if (nseg > 1024) throw ArchiveError("absurd segment count");
+  std::vector<net::PathSegment> segs;
+  for (std::uint64_t i = 0; i < nseg; ++i) {
+    const auto type = static_cast<net::SegmentType>(r.u8());
+    if (type != net::SegmentType::kSequence && type != net::SegmentType::kSet)
+      throw ArchiveError("bad segment type");
+    const std::uint64_t n = r.varint();
+    if (n == 0 || n > (1u << 20)) throw ArchiveError("bad segment length");
+    net::PathSegment seg{type, {}};
+    seg.asns.reserve(n);
+    for (std::uint64_t k = 0; k < n; ++k)
+      seg.asns.push_back(static_cast<net::Asn>(r.varint()));
+    segs.push_back(std::move(seg));
+  }
+  return net::AsPath::from_segments(std::move(segs));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_archive(const Dataset& ds) {
+  ByteWriter w;
+  w.bytes(kMagic, 4);
+  w.u8(static_cast<std::uint8_t>(ds.family));
+
+  w.varint(ds.collectors.size());
+  for (const auto& c : ds.collectors) w.string(c);
+
+  // Path dictionary (id 0, the empty path, is implicit).
+  w.varint(ds.paths.size() - 1);
+  for (std::size_t id = 1; id < ds.paths.size(); ++id) {
+    write_path(w, ds.paths.get(static_cast<PathId>(id)));
+  }
+
+  // Prefix dictionary.
+  w.varint(ds.prefixes.size());
+  for (std::size_t id = 0; id < ds.prefixes.size(); ++id) {
+    const auto& p = ds.prefixes.get(static_cast<PrefixId>(id));
+    w.u8(static_cast<std::uint8_t>(p.length()));
+    write_address(w, p.address());
+  }
+
+  // Community-set dictionary (id 0, the empty set, is implicit).
+  w.varint(ds.communities.size() - 1);
+  for (std::size_t id = 1; id < ds.communities.size(); ++id) {
+    const auto& set = ds.communities.get(static_cast<std::uint32_t>(id));
+    w.varint(set.size());
+    for (Community c : set) w.varint(c);
+  }
+
+  // Snapshots.
+  w.varint(ds.snapshots.size());
+  for (const auto& snap : ds.snapshots) {
+    w.svarint(snap.timestamp);
+    w.varint(snap.peers.size());
+    for (const auto& feed : snap.peers) {
+      w.varint(feed.peer.asn);
+      write_address(w, feed.peer.address);
+      w.varint(feed.peer.collector);
+      w.varint(feed.records.size());
+      for (const auto& rec : feed.records) {
+        w.varint(rec.prefix);
+        w.varint(rec.path);
+        w.varint(rec.communities);
+        w.u8(static_cast<std::uint8_t>(rec.status));
+      }
+    }
+  }
+
+  // Updates, delta-timestamped.
+  w.varint(ds.updates.size());
+  Timestamp prev = 0;
+  for (const auto& u : ds.updates) {
+    w.svarint(u.timestamp - prev);
+    prev = u.timestamp;
+    w.varint(u.collector);
+    w.varint(u.peer);
+    w.varint(u.path);
+    w.varint(u.communities);
+    w.varint(u.announced.size());
+    for (PrefixId p : u.announced) w.varint(p);
+    w.varint(u.withdrawn.size());
+    for (PrefixId p : u.withdrawn) w.varint(p);
+  }
+
+  auto buf = w.take();
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(buf.data(), buf.size()));
+  ByteWriter tail;
+  tail.u32(crc);
+  const auto& t = tail.buffer();
+  buf.insert(buf.end(), t.begin(), t.end());
+  return buf;
+}
+
+Dataset read_archive(std::span<const std::uint8_t> image) {
+  if (image.size() < 9) throw ArchiveError("archive too small");
+  const std::size_t body_len = image.size() - 4;
+  const std::uint32_t stored_crc = [&] {
+    ByteReader r(image.subspan(body_len));
+    return r.u32();
+  }();
+  if (crc32(image.subspan(0, body_len)) != stored_crc)
+    throw ArchiveError("CRC mismatch");
+
+  ByteReader r(image.subspan(0, body_len));
+  char magic[4];
+  r.bytes(magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) throw ArchiveError("bad magic");
+
+  Dataset ds;
+  const std::uint8_t fam = r.u8();
+  if (fam != 4 && fam != 6) throw ArchiveError("bad family");
+  ds.family = fam == 4 ? net::Family::kIPv4 : net::Family::kIPv6;
+
+  const std::uint64_t ncoll = r.varint();
+  for (std::uint64_t i = 0; i < ncoll; ++i)
+    ds.collectors.push_back(r.string());
+
+  const std::uint64_t npaths = r.varint();
+  for (std::uint64_t i = 0; i < npaths; ++i) {
+    const PathId id = ds.paths.intern(read_path(r));
+    if (id != i + 1) throw ArchiveError("duplicate path in dictionary");
+  }
+
+  const std::uint64_t nprefixes = r.varint();
+  for (std::uint64_t i = 0; i < nprefixes; ++i) {
+    const int len = r.u8();
+    const auto addr = read_address(r, ds.family);
+    if (len > net::address_bits(ds.family))
+      throw ArchiveError("bad prefix length");
+    const PrefixId id = ds.prefixes.intern(net::Prefix(addr, len));
+    if (id != i) throw ArchiveError("duplicate prefix in dictionary");
+  }
+
+  const std::uint64_t ncomm = r.varint();
+  for (std::uint64_t i = 0; i < ncomm; ++i) {
+    const std::uint64_t n = r.varint();
+    if (n > (1u << 16)) throw ArchiveError("absurd community set");
+    std::vector<Community> set(n);
+    for (auto& c : set) c = static_cast<Community>(r.varint());
+    const auto id = ds.communities.intern(std::move(set));
+    if (id != i + 1) throw ArchiveError("duplicate community set");
+  }
+
+  auto check_prefix = [&](std::uint64_t id) {
+    if (id >= ds.prefixes.size()) throw ArchiveError("prefix id out of range");
+    return static_cast<PrefixId>(id);
+  };
+  auto check_path = [&](std::uint64_t id) {
+    if (id >= ds.paths.size()) throw ArchiveError("path id out of range");
+    return static_cast<PathId>(id);
+  };
+  auto check_comm = [&](std::uint64_t id) {
+    if (id >= ds.communities.size())
+      throw ArchiveError("community id out of range");
+    return static_cast<CommunitySetId>(id);
+  };
+
+  const std::uint64_t nsnap = r.varint();
+  for (std::uint64_t i = 0; i < nsnap; ++i) {
+    Snapshot snap;
+    snap.timestamp = r.svarint();
+    const std::uint64_t npeers = r.varint();
+    for (std::uint64_t k = 0; k < npeers; ++k) {
+      PeerFeed feed;
+      feed.peer.asn = static_cast<net::Asn>(r.varint());
+      feed.peer.address = read_address(r, ds.family);
+      const std::uint64_t coll = r.varint();
+      if (coll >= ds.collectors.size())
+        throw ArchiveError("collector index out of range");
+      feed.peer.collector = static_cast<CollectorIndex>(coll);
+      const std::uint64_t nrec = r.varint();
+      feed.records.reserve(nrec);
+      for (std::uint64_t j = 0; j < nrec; ++j) {
+        RibRecord rec;
+        rec.prefix = check_prefix(r.varint());
+        rec.path = check_path(r.varint());
+        rec.communities = check_comm(r.varint());
+        const std::uint8_t st = r.u8();
+        if (st > 3) throw ArchiveError("bad record status");
+        rec.status = static_cast<RecordStatus>(st);
+        feed.records.push_back(rec);
+      }
+      snap.peers.push_back(std::move(feed));
+    }
+    ds.snapshots.push_back(std::move(snap));
+  }
+
+  const std::uint64_t nupd = r.varint();
+  Timestamp prev = 0;
+  ds.updates.reserve(nupd);
+  for (std::uint64_t i = 0; i < nupd; ++i) {
+    UpdateRecord u;
+    prev += r.svarint();
+    u.timestamp = prev;
+    const std::uint64_t coll = r.varint();
+    if (coll >= ds.collectors.size())
+      throw ArchiveError("collector index out of range");
+    u.collector = static_cast<CollectorIndex>(coll);
+    u.peer = static_cast<PeerIndex>(r.varint());
+    u.path = check_path(r.varint());
+    u.communities = check_comm(r.varint());
+    const std::uint64_t na = r.varint();
+    u.announced.reserve(na);
+    for (std::uint64_t k = 0; k < na; ++k)
+      u.announced.push_back(check_prefix(r.varint()));
+    const std::uint64_t nw = r.varint();
+    u.withdrawn.reserve(nw);
+    for (std::uint64_t k = 0; k < nw; ++k)
+      u.withdrawn.push_back(check_prefix(r.varint()));
+    ds.updates.push_back(std::move(u));
+  }
+
+  if (!r.at_end()) throw ArchiveError("trailing bytes in archive");
+  return ds;
+}
+
+void write_archive_file(const Dataset& ds, const std::string& path) {
+  const auto image = write_archive(ds);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) throw ArchiveError("cannot open for writing: " + path);
+  if (std::fwrite(image.data(), 1, image.size(), f.get()) != image.size())
+    throw ArchiveError("short write: " + path);
+}
+
+Dataset read_archive_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) throw ArchiveError("cannot open for reading: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size < 0) throw ArchiveError("cannot stat: " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(size));
+  if (std::fread(image.data(), 1, image.size(), f.get()) != image.size())
+    throw ArchiveError("short read: " + path);
+  return read_archive(image);
+}
+
+}  // namespace bgpatoms::bgp

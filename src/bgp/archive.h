@@ -1,0 +1,39 @@
+// BGA ("BGP Archive") serialization of bgp::Dataset.
+//
+// Role in the pipeline: what MRT files are to the paper's toolchain, BGA
+// files are to ours — the durable on-disk form of RIB snapshots + update
+// streams that the stream layer and analysis tools consume.
+//
+// Format (version 1), all multi-byte integers LEB128 varints unless noted:
+//
+//   magic   "BGA1"                      (4 bytes)
+//   family  u8 (4 | 6)
+//   collectors, path dictionary, prefix dictionary, community dictionary,
+//   snapshots, updates                  (see archive.cpp)
+//   crc     u32 little-endian CRC-32 of everything before it
+//
+// write/read round-trips exactly: pools keep their ids, record order is
+// preserved. Readers throw ArchiveError on any structural or CRC problem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/dataset.h"
+#include "bgp/io.h"
+
+namespace bgpatoms::bgp {
+
+/// Serializes `ds` to an in-memory BGA image.
+std::vector<std::uint8_t> write_archive(const Dataset& ds);
+
+/// Parses a BGA image. Throws ArchiveError on malformed input.
+Dataset read_archive(std::span<const std::uint8_t> image);
+
+/// File convenience wrappers. Throw ArchiveError on I/O failure.
+void write_archive_file(const Dataset& ds, const std::string& path);
+Dataset read_archive_file(const std::string& path);
+
+}  // namespace bgpatoms::bgp

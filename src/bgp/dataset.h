@@ -1,0 +1,54 @@
+// A BGP dataset: collectors, peer RIB snapshots, and update streams over
+// shared interning pools.
+//
+// This is the interchange type between the three producers/consumers in the
+// pipeline:
+//   * routing::Simulator emits datasets (one per measurement campaign),
+//   * bgp::ArchiveWriter/-Reader serialize them ("BGA" files), and
+//   * core::Sanitizer / core::AtomComputation consume them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/pools.h"
+#include "bgp/records.h"
+#include "net/aspath.h"
+
+namespace bgpatoms::bgp {
+
+/// All peers' RIB dumps captured at one instant.
+struct Snapshot {
+  Timestamp timestamp = 0;
+  std::vector<PeerFeed> peers;
+};
+
+struct Dataset {
+  net::Family family = net::Family::kIPv4;
+  std::vector<std::string> collectors;
+
+  net::PathPool paths;
+  PrefixPool prefixes;
+  CommunitySetPool communities;
+
+  std::vector<Snapshot> snapshots;
+  std::vector<UpdateRecord> updates;  // sorted by timestamp
+
+  /// Snapshot with the given timestamp, or nullptr.
+  const Snapshot* snapshot_at(Timestamp t) const {
+    for (const auto& s : snapshots) {
+      if (s.timestamp == t) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Number of RIB records summed over all peers of `snap`.
+  static std::size_t record_count(const Snapshot& snap) {
+    std::size_t n = 0;
+    for (const auto& p : snap.peers) n += p.records.size();
+    return n;
+  }
+};
+
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,158 @@
+// Low-level binary I/O helpers for the BGA archive format: little-endian
+// fixed integers, LEB128 varints, zigzag, and CRC-32 (IEEE 802.3).
+//
+// ByteWriter appends to an in-memory buffer; ByteReader consumes a span.
+// Reader methods throw ArchiveError on truncation or malformed varints, so
+// the archive layer never reads past its input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpatoms::bgp {
+
+class ArchiveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Incrementally computed CRC-32 (reflected polynomial 0xEDB88320).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint32_t c = ~value_;
+    for (std::size_t i = 0; i < len; ++i) {
+      c ^= p[i];
+      for (int k = 0; k < 8; ++k) {
+        c = (c >> 1) ^ (0xEDB88320u & (~(c & 1) + 1));
+      }
+    }
+    value_ = ~c;
+  }
+  std::uint32_t value() const { return value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data.data(), data.size());
+  return c.value();
+}
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  void string(std::string_view s) {
+    varint(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      need(1);
+      const std::uint8_t b = data_[pos_++];
+      v |= std::uint64_t{b & 0x7fu} << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    throw ArchiveError("varint too long");
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  std::string string() {
+    const std::uint64_t len = varint();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  void bytes(void* out, std::size_t len) {
+    need(len);
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (pos_ + n > data_.size()) throw ArchiveError("truncated archive");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgpatoms::bgp

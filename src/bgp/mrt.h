@@ -1,0 +1,58 @@
+// MRT (RFC 6396) import/export.
+//
+// This is the interchange path to the real measurement world: RouteViews
+// and RIPE RIS publish RIB snapshots as TABLE_DUMP_V2 files and update
+// traces as BGP4MP files. We write and read both, so
+//
+//   * a simulated campaign can be exported for consumption by bgpdump /
+//     libbgpstream-based tooling, and
+//   * a real (uncompressed) RouteViews/RIS file can be imported into a
+//     bgp::Dataset and pushed through the sanitizer and atom pipeline.
+//
+// Supported records:
+//   TABLE_DUMP_V2 (13): PEER_INDEX_TABLE (1), RIB_IPV4_UNICAST (2),
+//                       RIB_IPV6_UNICAST (4)
+//   BGP4MP (16) / BGP4MP_ET (17): BGP4MP_MESSAGE_AS4 (4)
+// Unknown record types are skipped. MRT files carry one collector per
+// file; the PEER_INDEX_TABLE view name transports the collector name.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/dataset.h"
+
+namespace bgpatoms::bgp {
+
+class MrtError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes snapshot `index`, restricted to peers of `collector`
+/// (index into ds.collectors), as a TABLE_DUMP_V2 RIB dump.
+std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
+                                        std::uint16_t collector);
+
+/// Serializes the update stream of `collector` as BGP4MP_MESSAGE_AS4
+/// records (one per update record, in timestamp order).
+std::vector<std::uint8_t> write_mrt_updates(const Dataset& ds,
+                                            std::uint16_t collector);
+
+/// Parses a concatenation of MRT records (RIB dumps and/or BGP4MP
+/// messages) into a dataset. Multiple PEER_INDEX_TABLEs start new
+/// snapshots. `collector_fallback` names the collector when the file
+/// carries no view name.
+Dataset read_mrt(std::span<const std::uint8_t> data,
+                 const std::string& collector_fallback = "mrt");
+
+/// File convenience wrappers (uncompressed MRT only).
+void write_mrt_rib_file(const Dataset& ds, std::size_t index,
+                        std::uint16_t collector, const std::string& path);
+Dataset read_mrt_file(const std::string& path,
+                      const std::string& collector_fallback = "mrt");
+
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,83 @@
+// Record-level BGP data model.
+//
+// A dataset (bgp/dataset.h) holds RIB snapshots and update streams as flat
+// records over interned prefixes / paths / community sets. Records carry a
+// status byte mirroring the parse outcome a real MRT toolchain would
+// report; the sanitizer uses those statuses to detect ADD-PATH-broken
+// peers exactly the way the paper detects them from BGPStream warnings
+// (Appendix A8.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/ip.h"
+
+namespace bgpatoms::bgp {
+
+using PrefixId = std::uint32_t;
+using PathId = std::uint32_t;        // 0 == empty path (net::PathPool)
+using CommunitySetId = std::uint32_t;  // 0 == empty set
+using PeerIndex = std::uint32_t;
+using CollectorIndex = std::uint16_t;
+using Timestamp = std::int64_t;  // seconds since epoch
+
+/// Parse outcome of one record, as a real MRT reader would classify it.
+enum class RecordStatus : std::uint8_t {
+  kValid = 0,
+  /// "unknown BGP4MP record subtype 9" — ADD-PATH encoding the collector
+  /// cannot parse.
+  kCorruptSubtype = 1,
+  /// "Duplicate Path Attribute" warning.
+  kDuplicateAttribute = 2,
+  /// "Invalid MP(UN)REACH NLRI" warning.
+  kInvalidNlri = 3,
+};
+
+/// True for the statuses that indicate ADD-PATH parsing breakage.
+constexpr bool is_addpath_artifact(RecordStatus s) {
+  return s != RecordStatus::kValid;
+}
+
+/// One row of a peer's RIB dump.
+struct RibRecord {
+  PrefixId prefix = 0;
+  PathId path = 0;
+  CommunitySetId communities = 0;
+  RecordStatus status = RecordStatus::kValid;
+
+  friend bool operator==(const RibRecord&, const RibRecord&) = default;
+};
+
+/// One BGP UPDATE message as captured by a collector: a shared attribute
+/// set (path) applied to a batch of announced NLRI, plus withdrawals.
+struct UpdateRecord {
+  Timestamp timestamp = 0;
+  CollectorIndex collector = 0;
+  PeerIndex peer = 0;
+  PathId path = 0;  // attributes of the announcements; 0 for pure withdraws
+  CommunitySetId communities = 0;
+  std::vector<PrefixId> announced;
+  std::vector<PrefixId> withdrawn;
+
+  friend bool operator==(const UpdateRecord&, const UpdateRecord&) = default;
+};
+
+/// Identity of a collector peer session. The paper keys vantage points by
+/// (collector, peer AS, peer IP); so do we.
+struct PeerIdentity {
+  net::Asn asn = 0;
+  net::IpAddress address;
+  CollectorIndex collector = 0;
+
+  friend bool operator==(const PeerIdentity&, const PeerIdentity&) = default;
+};
+
+/// A peer's full dump within one snapshot.
+struct PeerFeed {
+  PeerIdentity peer;
+  std::vector<RibRecord> records;
+};
+
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,54 @@
+#include "bgp/textdump.h"
+
+#include <ostream>
+
+namespace bgpatoms::bgp {
+
+namespace {
+
+const char* status_tag(RecordStatus s) {
+  switch (s) {
+    case RecordStatus::kValid:
+      return "";
+    case RecordStatus::kCorruptSubtype:
+      return "|W:unknown-subtype-9";
+    case RecordStatus::kDuplicateAttribute:
+      return "|W:duplicate-path-attribute";
+    case RecordStatus::kInvalidNlri:
+      return "|W:invalid-mp-reach-nlri";
+  }
+  return "";
+}
+
+}  // namespace
+
+void dump_snapshot(std::ostream& os, const Dataset& ds, const Snapshot& snap) {
+  for (const auto& feed : snap.peers) {
+    const std::string peer_ip = feed.peer.address.to_string();
+    const std::string coll = ds.collectors[feed.peer.collector];
+    for (const auto& rec : feed.records) {
+      os << "TABLE_DUMP2|" << snap.timestamp << "|B|" << coll << '|' << peer_ip
+         << '|' << feed.peer.asn << '|'
+         << ds.prefixes.get(rec.prefix).to_string() << '|'
+         << ds.paths.get(rec.path).to_string() << "|IGP"
+         << status_tag(rec.status) << '\n';
+    }
+  }
+}
+
+void dump_updates(std::ostream& os, const Dataset& ds) {
+  for (const auto& u : ds.updates) {
+    const auto& coll = ds.collectors[u.collector];
+    for (PrefixId p : u.withdrawn) {
+      os << "BGP4MP|" << u.timestamp << "|W|" << coll << '|' << u.peer << '|'
+         << ds.prefixes.get(p).to_string() << '\n';
+    }
+    for (PrefixId p : u.announced) {
+      os << "BGP4MP|" << u.timestamp << "|A|" << coll << '|' << u.peer << '|'
+         << ds.prefixes.get(p).to_string() << '|'
+         << ds.paths.get(u.path).to_string() << "|IGP\n";
+    }
+  }
+}
+
+}  // namespace bgpatoms::bgp

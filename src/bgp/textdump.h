@@ -1,0 +1,19 @@
+// Human-readable dumps in the pipe-separated style of `bgpdump -m`.
+//
+// Used by examples and for debugging; never parsed back (BGA is the
+// machine format).
+#pragma once
+
+#include <iosfwd>
+
+#include "bgp/dataset.h"
+
+namespace bgpatoms::bgp {
+
+/// Writes one "TABLE_DUMP2|..." line per RIB record of `snap`.
+void dump_snapshot(std::ostream& os, const Dataset& ds, const Snapshot& snap);
+
+/// Writes one "BGP4MP|..." line per update record.
+void dump_updates(std::ostream& os, const Dataset& ds);
+
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,87 @@
+// RFC 4271 BGP UPDATE wire codec.
+//
+// Encodes update records into real BGP UPDATE messages — 16-byte marker,
+// withdrawn-routes block, path attributes (ORIGIN, AS_PATH with four-octet
+// ASNs per RFC 6793, NEXT_HOP, COMMUNITIES per RFC 1997) and NLRI — and
+// decodes them back. IPv6 reachability travels in MP_REACH_NLRI /
+// MP_UNREACH_NLRI attributes per RFC 4760.
+//
+// This is the byte-level ground truth behind bgp/nlri.h's size estimates:
+// a message produced by pack_updates() always encodes within the 4096-byte
+// maximum (tests enforce this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/dataset.h"
+
+namespace bgpatoms::bgp {
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RFC 4271 §4.3 ORIGIN attribute values.
+enum class WireOrigin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// A decoded UPDATE message, self-contained (no pool references).
+struct DecodedUpdate {
+  std::vector<net::Prefix> withdrawn;
+  std::vector<net::Prefix> announced;
+  net::AsPath path;
+  std::vector<Community> communities;
+  std::optional<net::IpAddress> next_hop;
+  WireOrigin origin = WireOrigin::kIgp;
+
+  friend bool operator==(const DecodedUpdate&, const DecodedUpdate&) = default;
+};
+
+/// Maximum BGP message size (RFC 4271 §4).
+constexpr std::size_t kMaxMessageSize = 4096;
+
+/// Encodes `rec` (ids resolved through `ds`) as one BGP UPDATE message.
+/// `next_hop` defaults to a family-appropriate placeholder. Throws
+/// WireError if the result would exceed kMaxMessageSize — feed records
+/// through bgp::pack_updates first.
+std::vector<std::uint8_t> encode_update(
+    const Dataset& ds, const UpdateRecord& rec,
+    std::optional<net::IpAddress> next_hop = std::nullopt);
+
+/// Parses one UPDATE message. `family` selects the NLRI family expected in
+/// MP attributes (IPv4 NLRI always rides the base message body).
+/// Throws WireError on malformed input.
+DecodedUpdate decode_update(std::span<const std::uint8_t> message,
+                            net::Family family = net::Family::kIPv4);
+
+/// Total length field of the message at `data` (validates marker + type).
+std::size_t peek_update_length(std::span<const std::uint8_t> data);
+
+/// The decoded contents of a path-attribute block (shared by UPDATE
+/// messages and MRT TABLE_DUMP_V2 RIB entries).
+struct DecodedAttributes {
+  net::AsPath path;
+  std::vector<Community> communities;
+  std::optional<net::IpAddress> next_hop;
+  WireOrigin origin = WireOrigin::kIgp;
+  /// NLRI carried inside MP_REACH (IPv6 announcements).
+  std::vector<net::Prefix> mp_announced;
+  /// NLRI carried inside MP_UNREACH (IPv6 withdrawals).
+  std::vector<net::Prefix> mp_withdrawn;
+};
+
+/// Encodes a path-attribute block for one route (no NLRI in MP_REACH —
+/// the MRT RIB-entry convention). Resolves ids through `ds`.
+std::vector<std::uint8_t> encode_rib_attributes(const Dataset& ds,
+                                                PathId path,
+                                                CommunitySetId communities,
+                                                const net::IpAddress& next_hop);
+
+/// Decodes a bare path-attribute block.
+DecodedAttributes decode_attributes(std::span<const std::uint8_t> block);
+
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,128 @@
+#include "core/atoms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <span>
+
+#include "net/hash.h"
+
+namespace bgpatoms::core {
+
+AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
+                      const AtomOptions& options) {
+  AtomSet out;
+  out.snapshot = &snapshot;
+
+  // Dense index over the retained prefixes.
+  const auto& prefixes = snapshot.prefixes;
+  std::unordered_map<bgp::PrefixId, std::uint32_t> dense;
+  dense.reserve(prefixes.size());
+  for (std::uint32_t i = 0; i < prefixes.size(); ++i) {
+    dense.emplace(prefixes[i], i);
+  }
+
+  // Optional method-(i) path rewrite: prepending collapsed before grouping.
+  std::shared_ptr<net::PathPool> stripped_pool;
+  if (options.strip_prepends_before_grouping) {
+    stripped_pool = std::make_shared<net::PathPool>();
+  }
+  std::vector<bgp::PathId> stripped_id;
+  auto effective_path = [&](bgp::PathId id) -> bgp::PathId {
+    if (!stripped_pool) return id;
+    if (stripped_id.size() < snapshot.paths.size()) {
+      stripped_id.resize(snapshot.paths.size(), UINT32_MAX);
+    }
+    if (stripped_id[id] == UINT32_MAX) {
+      stripped_id[id] =
+          stripped_pool->intern(snapshot.paths.get(id).stripped());
+    }
+    return stripped_id[id];
+  };
+
+  // Signature accumulation in CSR form: one (vp, path) entry per record.
+  // Entries per prefix arrive in ascending vp order because we iterate
+  // tables in vp order.
+  std::vector<std::uint32_t> counts(prefixes.size(), 0);
+  for (const auto& table : snapshot.vps) {
+    for (const auto& [prefix, path] : table.routes) {
+      (void)path;
+      ++counts[dense.at(prefix)];
+    }
+  }
+  std::vector<std::uint64_t> offsets(prefixes.size() + 1, 0);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    offsets[i + 1] = offsets[i] + counts[i];
+  }
+  std::vector<std::uint64_t> entries(offsets.back());
+  {
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint16_t vp = 0; vp < snapshot.vps.size(); ++vp) {
+      for (const auto& [prefix, path] : snapshot.vps[vp].routes) {
+        const std::uint32_t idx = dense.at(prefix);
+        entries[cursor[idx]++] =
+            (static_cast<std::uint64_t>(vp) << 32) | effective_path(path);
+      }
+    }
+  }
+
+  // Group prefixes by signature (hash bucket + exact span equality).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> atom_bucket;
+  atom_bucket.reserve(prefixes.size());
+  auto signature = [&](std::uint32_t idx) {
+    return std::span<const std::uint64_t>(entries.data() + offsets[idx],
+                                          counts[idx]);
+  };
+  for (std::uint32_t idx = 0; idx < prefixes.size(); ++idx) {
+    const auto sig = signature(idx);
+    const std::uint64_t h = hash_span(sig, 0x9d3f);
+    auto& bucket = atom_bucket[h];
+    bool placed = false;
+    for (std::uint32_t atom_idx : bucket) {
+      const auto other = signature(
+          dense.at(out.atoms[atom_idx].prefixes.front()));
+      if (std::ranges::equal(sig, other)) {
+        out.atoms[atom_idx].prefixes.push_back(prefixes[idx]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Atom atom;
+      atom.prefixes.push_back(prefixes[idx]);
+      bucket.push_back(static_cast<std::uint32_t>(out.atoms.size()));
+      out.atoms.push_back(std::move(atom));
+    }
+  }
+
+  // Finalize: per-atom paths, origin, MOAS flag, indexes.
+  out.own_pool = stripped_pool;
+  const net::PathPool& pool = out.paths();
+  for (std::uint32_t a = 0; a < out.atoms.size(); ++a) {
+    Atom& atom = out.atoms[a];
+    std::sort(atom.prefixes.begin(), atom.prefixes.end());
+    const auto sig = signature(dense.at(atom.prefixes.front()));
+    atom.paths.reserve(sig.size());
+    for (std::uint64_t e : sig) {
+      atom.paths.emplace_back(static_cast<std::uint16_t>(e >> 32),
+                              static_cast<bgp::PathId>(e & 0xffffffffu));
+    }
+    net::Asn origin = 0;
+    for (const auto& [vp, path] : atom.paths) {
+      (void)vp;
+      const auto o = pool.get(path).origin();
+      if (!o) continue;
+      if (origin == 0) {
+        origin = *o;
+      } else if (origin != *o) {
+        atom.moas = true;
+      }
+    }
+    atom.origin = origin;
+    for (bgp::PrefixId p : atom.prefixes) out.atom_of.emplace(p, a);
+    out.atoms_by_origin[origin].push_back(a);
+  }
+  return out;
+}
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,70 @@
+// Policy-atom computation (paper §2.1, §2.4).
+//
+// A policy atom is a maximal group of prefixes sharing the same AS path at
+// *every* vantage point. A prefix absent from a VP's table has the "empty
+// path" there, so two prefixes belong to one atom only if their visibility
+// sets agree too (Afek et al.'s convention, kept by the paper).
+//
+// Implementation: each prefix accumulates a signature — the sorted list of
+// (vp, interned-path-id) pairs over the sanitized tables — and prefixes
+// group by signature equality (hash-bucketed, equality-verified).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sanitize.h"
+#include "net/asn.h"
+
+namespace bgpatoms::core {
+
+struct AtomOptions {
+  /// Method (i) of §3.4.2: collapse AS-path prepending *before* grouping.
+  /// Default off — the paper (and methods (ii)/(iii)) group on raw paths.
+  bool strip_prepends_before_grouping = false;
+};
+
+struct Atom {
+  /// Member prefixes, ascending.
+  std::vector<bgp::PrefixId> prefixes;
+  /// Per-VP observed path: (vp index into snapshot->vps, path id in the
+  /// snapshot's pool), ascending by vp. VPs not listed do not see the atom.
+  std::vector<std::pair<std::uint16_t, bgp::PathId>> paths;
+  /// Origin AS (from any observed path); 0 if indeterminate.
+  net::Asn origin = 0;
+  /// True if the observed paths disagree on the origin AS (MOAS conflict).
+  bool moas = false;
+
+  std::size_t size() const { return prefixes.size(); }
+};
+
+struct AtomSet {
+  const SanitizedSnapshot* snapshot = nullptr;
+  /// Pool resolving Atom::paths ids. Usually the snapshot's pool; method
+  /// (i) grouping rewrites paths and owns a separate pool.
+  std::shared_ptr<const net::PathPool> own_pool;
+  std::vector<Atom> atoms;
+  /// prefix id -> atom index.
+  std::unordered_map<bgp::PrefixId, std::uint32_t> atom_of;
+  /// Atom indices per origin AS.
+  std::unordered_map<net::Asn, std::vector<std::uint32_t>> atoms_by_origin;
+
+  std::size_t prefix_count() const {
+    return snapshot ? snapshot->prefixes.size() : 0;
+  }
+  /// Distinct origin ASes.
+  std::size_t as_count() const { return atoms_by_origin.size(); }
+
+  /// The pool Atom::paths ids refer to.
+  const net::PathPool& paths() const {
+    return own_pool ? *own_pool : snapshot->paths;
+  }
+};
+
+/// Groups the snapshot's prefixes into policy atoms.
+AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
+                      const AtomOptions& options = {});
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,86 @@
+#include "core/longitudinal.h"
+
+namespace bgpatoms::core {
+
+using routing::kDay;
+using routing::kHour;
+using routing::kWeek;
+
+Campaign run_campaign(const CampaignConfig& config) {
+  Campaign c;
+  c.era = config.family == net::Family::kIPv4
+              ? topo::era_params_v4(config.year, config.scale)
+              : topo::era_params_v6(config.year, config.scale);
+  if (config.force_collectors > 0) c.era.n_collectors = config.force_collectors;
+  if (config.force_peers > 0) c.era.n_peers = config.force_peers;
+  if (config.force_full_feed_frac > 0) {
+    c.era.full_feed_frac = config.force_full_feed_frac;
+  }
+
+  routing::SimOptions opt;
+  opt.seed = config.seed;
+  opt.weekly_churn = config.with_stability;
+  c.sim = std::make_unique<routing::Simulator>(
+      topo::generate_topology(c.era, config.seed), opt);
+
+  c.sim->capture();
+  if (config.with_updates) c.sim->emit_updates(4 * kHour);
+  if (config.with_stability) {
+    c.sim->advance_to(8 * kHour);
+    c.sim->capture();
+    c.sim->advance_to(kDay);
+    c.sim->capture();
+    c.sim->advance_to(kWeek);
+    c.sim->capture();
+  }
+
+  const auto& ds = c.sim->dataset();
+  for (std::size_t i = 0; i < ds.snapshots.size(); ++i) {
+    c.sanitized.push_back(sanitize(ds, i, config.sanitize));
+    c.atom_sets.push_back(compute_atoms(c.sanitized.back()));
+  }
+
+  c.stats = general_stats(c.atom_sets.front());
+  if (config.with_stability && c.atom_sets.size() >= 4) {
+    c.stability_8h = stability(c.atom_sets[0], c.atom_sets[1]);
+    c.stability_24h = stability(c.atom_sets[0], c.atom_sets[2]);
+    c.stability_1w = stability(c.atom_sets[0], c.atom_sets[3]);
+  }
+  if (config.with_updates) {
+    c.correlation = correlate_updates(c.atom_sets.front(), ds.updates);
+  }
+  return c;
+}
+
+QuarterMetrics run_quarter(net::Family family, double year, double scale,
+                           std::uint64_t seed) {
+  CampaignConfig config;
+  config.family = family;
+  config.year = year;
+  config.scale = scale;
+  config.seed = seed;
+  config.with_stability = true;
+  Campaign c = run_campaign(config);
+
+  QuarterMetrics m;
+  m.year = year;
+  m.stats = c.stats;
+  const FormationResult formation = formation_distance(c.atoms());
+  for (int d = 1; d <= 5; ++d) {
+    m.formed_at[d] = formation.share_at(d);
+    m.formed_at_multi[d] = formation.share_at_multi(d);
+  }
+  if (c.stability_8h) {
+    m.cam_8h = c.stability_8h->cam;
+    m.mpm_8h = c.stability_8h->mpm;
+  }
+  if (c.stability_1w) {
+    m.cam_1w = c.stability_1w->cam;
+    m.mpm_1w = c.stability_1w->mpm;
+  }
+  m.full_feed_peers = c.sanitized.front().report.full_feed_peers;
+  m.full_feed_threshold = c.sanitized.front().report.max_unique_prefixes;
+  return m;
+}
+
+}  // namespace bgpatoms::core

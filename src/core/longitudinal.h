@@ -1,0 +1,75 @@
+// Campaign drivers: run one simulated measurement campaign (the paper's
+// quarterly procedure, §2.4.1) end to end — topology, routing, capture,
+// sanitize, atoms, metrics — and the longitudinal sweeps built on top.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <deque>
+
+#include "core/atoms.h"
+#include "core/formation.h"
+#include "core/sanitize.h"
+#include "core/stability.h"
+#include "core/stats.h"
+#include "core/update_corr.h"
+#include "routing/simulator.h"
+
+namespace bgpatoms::core {
+
+struct CampaignConfig {
+  net::Family family = net::Family::kIPv4;
+  double year = 2004.0;
+  double scale = 0.05;
+  std::uint64_t seed = 1;
+  /// Capture a 4-hour update stream after the first snapshot (§2.4.1).
+  bool with_updates = false;
+  /// Capture +8h / +24h / +1w snapshots and compute stability.
+  bool with_stability = false;
+  SanitizeConfig sanitize;
+  /// Overrides for the collector infrastructure (0 = use era defaults).
+  /// The 2002 reproduction (§3.1) pins 1 collector (RRC00) and 13 peers.
+  int force_collectors = 0;
+  int force_peers = 0;
+  double force_full_feed_frac = 0.0;
+};
+
+/// A fully materialized campaign. Owns the simulator (and through it the
+/// dataset) so the derived views stay valid.
+struct Campaign {
+  topo::EraParams era;
+  std::unique_ptr<routing::Simulator> sim;
+  /// Sanitized view + atoms per captured snapshot (deque: stable addresses).
+  std::deque<SanitizedSnapshot> sanitized;
+  std::deque<AtomSet> atom_sets;
+
+  GeneralStats stats;  // of the first snapshot
+  std::optional<StabilityResult> stability_8h;
+  std::optional<StabilityResult> stability_24h;
+  std::optional<StabilityResult> stability_1w;
+  std::optional<UpdateCorrelation> correlation;
+
+  const AtomSet& atoms() const { return atom_sets.front(); }
+};
+
+Campaign run_campaign(const CampaignConfig& config);
+
+/// Compact per-quarter metrics for the trend figures (4, 5, 9, 11, 12, 13).
+struct QuarterMetrics {
+  double year = 0;
+  GeneralStats stats;
+  /// Share of atoms formed at distance d (method (iii)), d = 1..5.
+  std::array<double, 6> formed_at{};
+  /// Same, excluding origins with a single atom (Fig. 4 dashed lines).
+  std::array<double, 6> formed_at_multi{};
+  double cam_8h = 0, mpm_8h = 0, cam_1w = 0, mpm_1w = 0;
+  std::size_t full_feed_peers = 0;
+  std::size_t full_feed_threshold = 0;  // max unique prefixes over peers
+};
+
+/// Runs one quarter at reduced scale and extracts the trend metrics.
+QuarterMetrics run_quarter(net::Family family, double year, double scale,
+                           std::uint64_t seed);
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,235 @@
+#include "core/sanitize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/asn.h"
+
+namespace bgpatoms::core {
+
+bgp::PathId VpTable::path_for(bgp::PrefixId prefix) const {
+  const auto it = std::lower_bound(
+      routes.begin(), routes.end(), prefix,
+      [](const auto& entry, bgp::PrefixId p) { return entry.first < p; });
+  if (it == routes.end() || it->first != prefix) {
+    return net::PathPool::kEmptyPathId;
+  }
+  return it->second;
+}
+
+const char* to_string(PeerRemovalReason reason) {
+  switch (reason) {
+    case PeerRemovalReason::kAddPathArtifacts:
+      return "ADD-PATH artifacts";
+    case PeerRemovalReason::kPrivateAsnInjection:
+      return "private-ASN injection";
+    case PeerRemovalReason::kExcessiveDuplicates:
+      return "excessive duplicates";
+    case PeerRemovalReason::kPartialFeed:
+      return "partial feed";
+  }
+  return "?";
+}
+
+namespace {
+
+struct PeerScan {
+  std::size_t records = 0;
+  std::size_t corrupt = 0;
+  std::size_t duplicates = 0;
+  std::size_t bogon_paths = 0;
+  std::size_t unique_prefixes = 0;
+};
+
+PeerScan scan_peer(const bgp::Dataset& ds, const bgp::PeerFeed& feed) {
+  PeerScan s;
+  s.records = feed.records.size();
+  std::unordered_set<bgp::PrefixId> seen;
+  seen.reserve(feed.records.size());
+  for (const auto& rec : feed.records) {
+    if (bgp::is_addpath_artifact(rec.status)) ++s.corrupt;
+    if (!seen.insert(rec.prefix).second) ++s.duplicates;
+    const auto& path = ds.paths.get(rec.path);
+    // The peer's own leading hop may legitimately repeat; a bogon anywhere
+    // *behind* the first hop signals injection (the AS65000 case).
+    const auto hops = path.flat();
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (net::is_bogon_asn(hops[i])) {
+        ++s.bogon_paths;
+        break;
+      }
+    }
+  }
+  s.unique_prefixes = seen.size();
+  return s;
+}
+
+}  // namespace
+
+SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
+                           const SanitizeConfig& config) {
+  const auto& snap = ds.snapshots.at(index);
+  SanitizedSnapshot out;
+  out.dataset = &ds;
+  out.timestamp = snap.timestamp;
+  auto& rep = out.report;
+  rep.peers_in = snap.peers.size();
+
+  const int max_len =
+      config.max_prefix_length > 0
+          ? config.max_prefix_length
+          : (ds.family == net::Family::kIPv4 ? 24 : 48);
+
+  // --- pass 1: per-peer statistics & abnormal-peer removal ---------------
+  std::vector<const bgp::PeerFeed*> kept;
+  std::vector<PeerScan> scans;
+  for (const auto& feed : snap.peers) {
+    const PeerScan s = scan_peer(ds, feed);
+    if (config.remove_abnormal_peers && s.records > 0) {
+      const double corrupt_share =
+          static_cast<double>(s.corrupt) / static_cast<double>(s.records);
+      const double dup_share =
+          static_cast<double>(s.duplicates) / static_cast<double>(s.records);
+      const double bogon_share =
+          static_cast<double>(s.bogon_paths) / static_cast<double>(s.records);
+      if (corrupt_share > config.addpath_artifact_threshold) {
+        rep.removed_peers.push_back(
+            {feed.peer, PeerRemovalReason::kAddPathArtifacts, corrupt_share});
+        continue;
+      }
+      if (bogon_share > config.private_asn_threshold) {
+        rep.removed_peers.push_back(
+            {feed.peer, PeerRemovalReason::kPrivateAsnInjection, bogon_share});
+        continue;
+      }
+      if (dup_share > config.duplicate_threshold) {
+        rep.removed_peers.push_back(
+            {feed.peer, PeerRemovalReason::kExcessiveDuplicates, dup_share});
+        continue;
+      }
+    }
+    kept.push_back(&feed);
+    scans.push_back(s);
+  }
+
+  // --- pass 2: full-feed inference ----------------------------------------
+  std::size_t max_unique = 0;
+  for (const auto& s : scans) max_unique = std::max(max_unique, s.unique_prefixes);
+  rep.max_unique_prefixes = max_unique;
+  const auto full_feed_floor = static_cast<std::size_t>(
+      config.full_feed_fraction * static_cast<double>(max_unique));
+  if (config.full_feed_only) {
+    std::vector<const bgp::PeerFeed*> full;
+    std::vector<PeerScan> full_scans;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (scans[i].unique_prefixes > full_feed_floor) {
+        full.push_back(kept[i]);
+        full_scans.push_back(scans[i]);
+      } else {
+        rep.removed_peers.push_back(
+            {kept[i]->peer, PeerRemovalReason::kPartialFeed,
+             max_unique == 0
+                 ? 0.0
+                 : static_cast<double>(scans[i].unique_prefixes) /
+                       static_cast<double>(max_unique)});
+      }
+    }
+    kept = std::move(full);
+    scans = std::move(full_scans);
+  }
+  rep.full_feed_peers = kept.size();
+
+  // --- pass 3: record cleaning into per-VP tables -------------------------
+  out.vps.reserve(kept.size());
+  for (const auto* feedp : kept) {
+    VpTable table;
+    table.peer = feedp->peer;
+    table.routes.reserve(feedp->records.size());
+    for (const auto& rec : feedp->records) {
+      if (bgp::is_addpath_artifact(rec.status)) {
+        ++rep.records_dropped_corrupt;
+        continue;
+      }
+      const auto& raw = ds.paths.get(rec.path);
+      bgp::PathId pid;
+      if (raw.has_set()) {
+        if (!raw.sets_all_singleton()) {
+          ++rep.records_dropped_asset;
+          continue;
+        }
+        pid = out.paths.intern(raw.with_singleton_sets_expanded());
+        ++rep.asset_paths_expanded;
+      } else {
+        pid = out.paths.intern(raw);
+      }
+      table.routes.emplace_back(rec.prefix, pid);
+    }
+    std::sort(table.routes.begin(), table.routes.end());
+    // Deduplicate (first wins; exact duplicates collapse silently).
+    table.routes.erase(
+        std::unique(table.routes.begin(), table.routes.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first == b.first;
+                    }),
+        table.routes.end());
+    out.vps.push_back(std::move(table));
+  }
+
+  // --- pass 4: prefix filtering -------------------------------------------
+  struct Visibility {
+    std::unordered_set<std::uint16_t> collectors;
+    std::unordered_set<net::Asn> peer_ases;
+  };
+  std::unordered_map<bgp::PrefixId, Visibility> vis;
+  for (const auto& table : out.vps) {
+    for (const auto& [prefix, path] : table.routes) {
+      auto& v = vis[prefix];
+      v.collectors.insert(table.peer.collector);
+      v.peer_ases.insert(table.peer.asn);
+    }
+  }
+  rep.prefixes_in = vis.size();
+
+  std::unordered_set<bgp::PrefixId> keep_prefixes;
+  keep_prefixes.reserve(vis.size());
+  for (const auto& [prefix, v] : vis) {
+    if (ds.prefixes.get(prefix).length() > max_len) {
+      ++rep.prefixes_dropped_length;
+      continue;
+    }
+    if (config.filter_prefixes &&
+        (v.collectors.size() < static_cast<std::size_t>(config.min_collectors) ||
+         v.peer_ases.size() < static_cast<std::size_t>(config.min_peer_ases))) {
+      ++rep.prefixes_dropped_visibility;
+      continue;
+    }
+    keep_prefixes.insert(prefix);
+  }
+  rep.prefixes_kept = keep_prefixes.size();
+
+  for (auto& table : out.vps) {
+    std::erase_if(table.routes, [&](const auto& entry) {
+      return !keep_prefixes.contains(entry.first);
+    });
+  }
+  out.prefixes.assign(keep_prefixes.begin(), keep_prefixes.end());
+  std::sort(out.prefixes.begin(), out.prefixes.end());
+
+  // --- MOAS accounting (not removed; §2.4.3) ------------------------------
+  std::unordered_map<bgp::PrefixId, net::Asn> first_origin;
+  std::unordered_set<bgp::PrefixId> moas;
+  for (const auto& table : out.vps) {
+    for (const auto& [prefix, path] : table.routes) {
+      const auto origin = out.paths.get(path).origin();
+      if (!origin) continue;
+      const auto [it, fresh] = first_origin.emplace(prefix, *origin);
+      if (!fresh && it->second != *origin) moas.insert(prefix);
+    }
+  }
+  rep.moas_prefixes = moas.size();
+
+  return out;
+}
+
+}  // namespace bgpatoms::core

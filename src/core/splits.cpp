@@ -1,0 +1,100 @@
+#include "core/splits.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/hash.h"
+
+namespace bgpatoms::core {
+
+namespace {
+
+std::uint64_t peer_key(const bgp::PeerIdentity& p) {
+  std::uint64_t h = mix64(p.asn);
+  h = hash_combine(h, p.address.hi());
+  h = hash_combine(h, p.address.lo());
+  h = hash_combine(h, p.collector);
+  return h;
+}
+
+std::uint64_t set_hash(const std::vector<bgp::PrefixId>& v) {
+  return hash_span<bgp::PrefixId>(v, 0x5eedULL);
+}
+
+}  // namespace
+
+std::vector<SplitEvent> detect_splits(const AtomSet& t0, const AtomSet& t1,
+                                      const AtomSet& t2) {
+  std::vector<SplitEvent> events;
+
+  // Atom compositions present at t0.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> t0_sets;
+  t0_sets.reserve(t0.atoms.size());
+  for (std::uint32_t i = 0; i < t0.atoms.size(); ++i) {
+    t0_sets[set_hash(t0.atoms[i].prefixes)].push_back(i);
+  }
+  auto present_at_t0 = [&](const std::vector<bgp::PrefixId>& prefixes) {
+    const auto it = t0_sets.find(set_hash(prefixes));
+    if (it == t0_sets.end()) return false;
+    for (std::uint32_t cand : it->second) {
+      if (t0.atoms[cand].prefixes == prefixes) return true;
+    }
+    return false;
+  };
+
+  // t2 vantage points by peer identity.
+  std::unordered_map<std::uint64_t, std::uint32_t> t2_vp;
+  for (std::uint32_t i = 0; i < t2.snapshot->vps.size(); ++i) {
+    t2_vp.emplace(peer_key(t2.snapshot->vps[i].peer), i);
+  }
+
+  for (std::uint32_t a = 0; a < t1.atoms.size(); ++a) {
+    const Atom& atom = t1.atoms[a];
+    if (atom.size() < 2) continue;  // a 1-prefix atom cannot split
+    if (!present_at_t0(atom.prefixes)) continue;
+
+    // Split test: do the prefixes span more than one atom at t2? A prefix
+    // missing from t2 entirely counts as its own group.
+    std::unordered_set<std::uint64_t> groups;
+    for (bgp::PrefixId p : atom.prefixes) {
+      const auto it = t2.atom_of.find(p);
+      groups.insert(it == t2.atom_of.end() ? 0x8000000000000000ULL | p
+                                           : it->second);
+      if (groups.size() > 1) break;
+    }
+    if (groups.size() <= 1) continue;
+
+    SplitEvent ev;
+    ev.atom = a;
+    ev.atom_size = atom.size();
+
+    // Observers: VPs that saw the whole atom on one path at t1 and now see
+    // its prefixes on differing paths (or only partially) at t2.
+    for (const auto& [vp1, path1] : atom.paths) {
+      (void)path1;
+      const auto& peer = t1.snapshot->vps[vp1].peer;
+      const auto it = t2_vp.find(peer_key(peer));
+      if (it == t2_vp.end()) continue;
+      const auto& table = t2.snapshot->vps[it->second];
+      bgp::PathId common = net::PathPool::kEmptyPathId;
+      bool diverged = false;
+      bool first = true;
+      for (bgp::PrefixId p : atom.prefixes) {
+        const bgp::PathId pid = table.path_for(p);
+        if (first) {
+          common = pid;
+          first = false;
+        } else if (pid != common) {
+          diverged = true;
+          break;
+        }
+      }
+      // All-missing at t2 is a withdrawal, not an observed regrouping.
+      if (diverged) ev.observers.push_back(peer);
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace bgpatoms::core

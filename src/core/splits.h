@@ -1,0 +1,42 @@
+// Atom-split detection and observer counting (paper §4.4.1 — Figures 6, 7
+// and 16).
+//
+// Over a run of daily snapshots t, t+1, t+2:
+//   * an atom (identified by its exact prefix composition) present at both
+//     t and t+1 is flagged as SPLIT if at t+2 its prefixes span more than
+//     one atom (merges are ignored);
+//   * the split's observers are the vantage points that saw all of the
+//     atom's prefixes with one common path at t+1 but see them with
+//     differing paths (or partial visibility) at t+2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/atoms.h"
+
+namespace bgpatoms::core {
+
+struct SplitEvent {
+  /// Index of the split atom in the t+1 atom set.
+  std::uint32_t atom = 0;
+  std::size_t atom_size = 0;
+  /// Identities of the observing vantage points (peer ASN + address).
+  std::vector<bgp::PeerIdentity> observers;
+};
+
+/// Detects the splits between three consecutive snapshots' atom sets.
+/// All three must derive from the same dataset (shared prefix ids).
+std::vector<SplitEvent> detect_splits(const AtomSet& t0, const AtomSet& t1,
+                                      const AtomSet& t2);
+
+/// Aggregate over a window of days (Figures 6/7): per-day events and the
+/// per-event observer counts.
+struct DailySplits {
+  std::vector<std::vector<std::size_t>> observers_per_event;  // per day
+  /// Identity of each event's single observer when |observers| == 1,
+  /// flattened per day (for the top-peer breakdown of Figure 7).
+  std::vector<std::vector<bgp::PeerIdentity>> single_observers;
+};
+
+}  // namespace bgpatoms::core

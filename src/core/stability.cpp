@@ -1,0 +1,81 @@
+#include "core/stability.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "net/hash.h"
+
+namespace bgpatoms::core {
+
+StabilityResult stability(const AtomSet& t1, const AtomSet& t2) {
+  StabilityResult r;
+  r.atoms_t1 = t1.atoms.size();
+
+  // --- CAM: exact prefix-set matches --------------------------------------
+  // Hash t2's atoms by their (sorted) prefix sets, verify equality exactly.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> t2_by_hash;
+  t2_by_hash.reserve(t2.atoms.size());
+  auto set_hash = [](const std::vector<bgp::PrefixId>& v) {
+    return hash_span<bgp::PrefixId>(v, 0x57ab);
+  };
+  for (std::uint32_t i = 0; i < t2.atoms.size(); ++i) {
+    t2_by_hash[set_hash(t2.atoms[i].prefixes)].push_back(i);
+  }
+  for (const auto& atom : t1.atoms) {
+    const auto it = t2_by_hash.find(set_hash(atom.prefixes));
+    if (it == t2_by_hash.end()) continue;
+    for (std::uint32_t cand : it->second) {
+      if (t2.atoms[cand].prefixes == atom.prefixes) {
+        ++r.atoms_matched_exactly;
+        break;
+      }
+    }
+  }
+  r.cam = r.atoms_t1 ? static_cast<double>(r.atoms_matched_exactly) /
+                           static_cast<double>(r.atoms_t1)
+                     : 0.0;
+
+  // --- MPM: greedy maximum prefix overlap ----------------------------------
+  // Process t1 atoms largest-first; each claims the unclaimed t2 atom with
+  // the largest intersection.
+  std::vector<std::uint32_t> order(t1.atoms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return t1.atoms[a].size() > t1.atoms[b].size();
+  });
+
+  std::vector<char> taken(t2.atoms.size(), 0);
+  std::size_t total = 0, matched = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> overlap;  // t2 atom -> count
+  for (std::uint32_t idx : order) {
+    const auto& atom = t1.atoms[idx];
+    total += atom.size();
+    overlap.clear();
+    for (bgp::PrefixId p : atom.prefixes) {
+      const auto it = t2.atom_of.find(p);
+      if (it != t2.atom_of.end() && !taken[it->second]) {
+        ++overlap[it->second];
+      }
+    }
+    std::uint32_t best = UINT32_MAX;
+    std::uint32_t best_count = 0;
+    for (const auto& [cand, count] : overlap) {
+      if (count > best_count || (count == best_count && cand < best)) {
+        best = cand;
+        best_count = count;
+      }
+    }
+    if (best != UINT32_MAX) {
+      taken[best] = 1;
+      matched += best_count;
+    }
+  }
+  r.prefixes_t1 = total;
+  r.prefixes_matched = matched;
+  r.mpm = total ? static_cast<double>(matched) / static_cast<double>(total)
+                : 0.0;
+  return r;
+}
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,28 @@
+// Atom stability metrics (paper §3.5, §4.4, §5.2 — Tables 3 & 6, Figures
+// 5 & 9).
+//
+//   * CAM (complete atom match): share of atoms at t1 whose exact prefix
+//     set exists as an atom at t2.
+//   * MPM (maximized prefix match): prefix-weighted overlap under a greedy
+//     one-to-one mapping from t1 atoms to t2 atoms (largest atoms claim
+//     their best-overlap partner first).
+//
+// Both snapshots must come from the same dataset so prefix ids align.
+#pragma once
+
+#include "core/atoms.h"
+
+namespace bgpatoms::core {
+
+struct StabilityResult {
+  double cam = 0.0;
+  double mpm = 0.0;
+  std::size_t atoms_t1 = 0;
+  std::size_t atoms_matched_exactly = 0;
+  std::size_t prefixes_t1 = 0;
+  std::size_t prefixes_matched = 0;
+};
+
+StabilityResult stability(const AtomSet& t1, const AtomSet& t2);
+
+}  // namespace bgpatoms::core

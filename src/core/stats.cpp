@@ -1,0 +1,95 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace bgpatoms::core {
+
+GeneralStats general_stats(const AtomSet& atoms) {
+  GeneralStats s;
+  s.prefixes = atoms.prefix_count();
+  s.ases = atoms.as_count();
+  s.atoms = atoms.atoms.size();
+
+  std::size_t total_prefixes_in_atoms = 0;
+  std::size_t moas_prefixes = 0;
+  std::vector<std::size_t> sizes;
+  sizes.reserve(atoms.atoms.size());
+  for (const auto& atom : atoms.atoms) {
+    sizes.push_back(atom.size());
+    total_prefixes_in_atoms += atom.size();
+    if (atom.size() == 1) ++s.atoms_with_one_prefix;
+    if (atom.moas) {
+      ++s.moas_atoms;
+      moas_prefixes += atom.size();
+    }
+  }
+  for (const auto& [asn, list] : atoms.atoms_by_origin) {
+    (void)asn;
+    if (list.size() == 1) ++s.ases_with_one_atom;
+  }
+  if (!sizes.empty()) {
+    s.mean_atom_size =
+        static_cast<double>(total_prefixes_in_atoms) / sizes.size();
+    std::sort(sizes.begin(), sizes.end());
+    s.p99_atom_size = sizes[static_cast<std::size_t>(0.99 * (sizes.size() - 1))];
+    s.largest_atom_size = sizes.back();
+  }
+  if (total_prefixes_in_atoms > 0) {
+    s.moas_prefix_share = static_cast<double>(moas_prefixes) /
+                          static_cast<double>(total_prefixes_in_atoms);
+  }
+  return s;
+}
+
+double Cdf::at(std::uint64_t v) const {
+  const auto it = std::upper_bound(
+      points.begin(), points.end(), v,
+      [](std::uint64_t x, const auto& p) { return x < p.first; });
+  if (it == points.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+Cdf make_cdf(std::vector<std::uint64_t> values) {
+  Cdf cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size();) {
+    std::size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    cdf.points.emplace_back(values[i], static_cast<double>(j) / n);
+    i = j;
+  }
+  return cdf;
+}
+
+Cdf atoms_per_as_cdf(const AtomSet& atoms) {
+  std::vector<std::uint64_t> values;
+  values.reserve(atoms.atoms_by_origin.size());
+  for (const auto& [asn, list] : atoms.atoms_by_origin) {
+    (void)asn;
+    values.push_back(list.size());
+  }
+  return make_cdf(std::move(values));
+}
+
+Cdf prefixes_per_atom_cdf(const AtomSet& atoms) {
+  std::vector<std::uint64_t> values;
+  values.reserve(atoms.atoms.size());
+  for (const auto& atom : atoms.atoms) values.push_back(atom.size());
+  return make_cdf(std::move(values));
+}
+
+Cdf prefixes_per_as_cdf(const AtomSet& atoms) {
+  std::vector<std::uint64_t> values;
+  values.reserve(atoms.atoms_by_origin.size());
+  for (const auto& [asn, list] : atoms.atoms_by_origin) {
+    (void)asn;
+    std::uint64_t n = 0;
+    for (std::uint32_t a : list) n += atoms.atoms[a].size();
+    values.push_back(n);
+  }
+  return make_cdf(std::move(values));
+}
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,52 @@
+// General statistics over an atom set (paper §3.2, §4.1, §5.1 — Tables
+// 1 & 4, Figures 2, 8, 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/atoms.h"
+
+namespace bgpatoms::core {
+
+struct GeneralStats {
+  std::size_t prefixes = 0;
+  std::size_t ases = 0;
+  std::size_t ases_with_one_atom = 0;
+  std::size_t atoms = 0;
+  std::size_t atoms_with_one_prefix = 0;
+  double mean_atom_size = 0.0;
+  std::size_t p99_atom_size = 0;
+  std::size_t largest_atom_size = 0;
+  std::size_t moas_atoms = 0;
+  double moas_prefix_share = 0.0;
+
+  double one_atom_as_share() const {
+    return ases ? static_cast<double>(ases_with_one_atom) / ases : 0.0;
+  }
+  double one_prefix_atom_share() const {
+    return atoms ? static_cast<double>(atoms_with_one_prefix) / atoms : 0.0;
+  }
+};
+
+GeneralStats general_stats(const AtomSet& atoms);
+
+/// An empirical CDF over positive integer values: cdf(v) = share of items
+/// with value <= v, evaluated at each distinct value.
+struct Cdf {
+  std::vector<std::pair<std::uint64_t, double>> points;
+
+  /// Share of items with value <= v.
+  double at(std::uint64_t v) const;
+};
+
+Cdf make_cdf(std::vector<std::uint64_t> values);
+
+/// Figure 2/8 left: number of atoms per AS.
+Cdf atoms_per_as_cdf(const AtomSet& atoms);
+/// Figure 2/8 right: number of prefixes per atom.
+Cdf prefixes_per_atom_cdf(const AtomSet& atoms);
+/// Figure 14: distinct prefixes per AS.
+Cdf prefixes_per_as_cdf(const AtomSet& atoms);
+
+}  // namespace bgpatoms::core

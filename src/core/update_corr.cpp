@@ -1,0 +1,121 @@
+#include "core/update_corr.h"
+
+#include <limits>
+#include <unordered_map>
+
+namespace bgpatoms::core {
+
+namespace {
+
+/// One entity population: prefix -> entity, entity -> size.
+struct Entities {
+  std::unordered_map<bgp::PrefixId, std::uint32_t> of_prefix;
+  std::vector<std::uint32_t> size;
+  std::vector<std::size_t> n_all, n_any;
+
+  void finalize_entity_counts() {
+    n_all.assign(size.size(), 0);
+    n_any.assign(size.size(), 0);
+  }
+};
+
+PrFullCurve make_curve(const Entities& e, std::size_t max_k) {
+  PrFullCurve c;
+  c.pr.assign(max_k + 1, std::numeric_limits<double>::quiet_NaN());
+  c.n_all.assign(max_k + 1, 0);
+  c.n_any.assign(max_k + 1, 0);
+  for (std::size_t i = 0; i < e.size.size(); ++i) {
+    const std::size_t k = e.size[i];
+    if (k == 0 || k > max_k) continue;
+    c.n_all[k] += e.n_all[i];
+    c.n_any[k] += e.n_any[i];
+  }
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    if (c.n_any[k] > 0) {
+      c.pr[k] = static_cast<double>(c.n_all[k]) /
+                static_cast<double>(c.n_any[k]);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+UpdateCorrelation correlate_updates(
+    const AtomSet& atoms, const std::vector<bgp::UpdateRecord>& updates,
+    std::size_t max_k) {
+  UpdateCorrelation out;
+
+  // --- build entity populations -------------------------------------------
+  Entities atom_e;
+  atom_e.size.resize(atoms.atoms.size());
+  for (std::uint32_t a = 0; a < atoms.atoms.size(); ++a) {
+    atom_e.size[a] = static_cast<std::uint32_t>(atoms.atoms[a].size());
+    for (bgp::PrefixId p : atoms.atoms[a].prefixes) {
+      atom_e.of_prefix.emplace(p, a);
+    }
+  }
+  atom_e.finalize_entity_counts();
+
+  Entities as_e;
+  std::unordered_map<net::Asn, std::uint32_t> as_index;
+  std::vector<bool> as_has_multi_atom;
+  for (const auto& [asn, group] : atoms.atoms_by_origin) {
+    const auto id = static_cast<std::uint32_t>(as_e.size.size());
+    as_index.emplace(asn, id);
+    std::uint32_t total = 0;
+    bool multi = false;
+    for (std::uint32_t a : group) {
+      total += static_cast<std::uint32_t>(atoms.atoms[a].size());
+      if (atoms.atoms[a].size() > 1) multi = true;
+      for (bgp::PrefixId p : atoms.atoms[a].prefixes) {
+        as_e.of_prefix.emplace(p, id);
+      }
+    }
+    as_e.size.push_back(total);
+    as_has_multi_atom.push_back(multi);
+  }
+  as_e.finalize_entity_counts();
+
+  // --- scan updates ---------------------------------------------------------
+  std::unordered_map<std::uint32_t, std::uint32_t> touched;  // entity -> count
+  auto scan = [&](Entities& e, const bgp::UpdateRecord& rec) {
+    touched.clear();
+    auto add = [&](bgp::PrefixId p) {
+      const auto it = e.of_prefix.find(p);
+      if (it != e.of_prefix.end()) ++touched[it->second];
+    };
+    for (bgp::PrefixId p : rec.announced) add(p);
+    for (bgp::PrefixId p : rec.withdrawn) add(p);
+    for (const auto& [entity, count] : touched) {
+      ++e.n_any[entity];
+      if (count >= e.size[entity]) ++e.n_all[entity];
+    }
+  };
+
+  for (const auto& rec : updates) {
+    scan(atom_e, rec);
+    scan(as_e, rec);
+    ++out.updates_seen;
+  }
+
+  out.atom = make_curve(atom_e, max_k);
+  out.as_all = make_curve(as_e, max_k);
+
+  // --- AS category curves ----------------------------------------------------
+  Entities as_multi = as_e, as_single = as_e;
+  for (std::size_t i = 0; i < as_e.size.size(); ++i) {
+    if (as_has_multi_atom[i]) {
+      as_single.n_all[i] = as_single.n_any[i] = 0;
+      as_single.size[i] = 0;
+    } else {
+      as_multi.n_all[i] = as_multi.n_any[i] = 0;
+      as_multi.size[i] = 0;
+    }
+  }
+  out.as_multi = make_curve(as_multi, max_k);
+  out.as_single = make_curve(as_single, max_k);
+  return out;
+}
+
+}  // namespace bgpatoms::core

@@ -1,0 +1,49 @@
+// Autonomous System Number utilities.
+//
+// ASNs are plain 32-bit integers throughout the library (4-byte ASNs per
+// RFC 6793); this header centralizes the IANA special-range predicates the
+// sanitizer relies on (private-use, reserved, documentation, AS_TRANS).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgpatoms::net {
+
+using Asn = std::uint32_t;
+
+/// 16-bit private-use range (RFC 6996): 64512-65534.
+constexpr bool is_private_asn16(Asn a) { return a >= 64512 && a <= 65534; }
+
+/// 32-bit private-use range (RFC 6996): 4200000000-4294967294.
+constexpr bool is_private_asn32(Asn a) {
+  return a >= 4200000000u && a <= 4294967294u;
+}
+
+/// Any private-use ASN. AS65000 — the misconfigured peer of the paper's
+/// Appendix A8.3.2 — falls in this range.
+constexpr bool is_private_asn(Asn a) {
+  return is_private_asn16(a) || is_private_asn32(a);
+}
+
+/// Documentation ranges (RFC 5398): 64496-64511 and 65536-65551.
+constexpr bool is_documentation_asn(Asn a) {
+  return (a >= 64496 && a <= 64511) || (a >= 65536 && a <= 65551);
+}
+
+/// AS_TRANS (RFC 6793) placeholder for 4-byte ASNs on 2-byte sessions.
+constexpr Asn kAsTrans = 23456;
+
+/// AS 0 and 65535 / 4294967295 are reserved (RFC 7607, RFC 1930, RFC 6996).
+constexpr bool is_reserved_asn(Asn a) {
+  return a == 0 || a == 65535 || a == 4294967295u || a == kAsTrans;
+}
+
+/// ASNs that must never appear in a clean, globally-routed AS path.
+constexpr bool is_bogon_asn(Asn a) {
+  return is_reserved_asn(a) || is_private_asn(a) || is_documentation_asn(a);
+}
+
+inline std::string asn_to_string(Asn a) { return "AS" + std::to_string(a); }
+
+}  // namespace bgpatoms::net

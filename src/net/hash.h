@@ -1,0 +1,56 @@
+// Hashing utilities shared across the library.
+//
+// We need stable, high-quality 64-bit hashes for path interning and atom
+// signatures. std::hash gives no stability or quality guarantees, so all
+// hashing of domain objects goes through the helpers here (FNV-1a for byte
+// streams, a Murmur-style finalizer for mixing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace bgpatoms {
+
+/// 64-bit FNV-1a over a byte range. Stable across platforms and runs.
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t len,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// Murmur3-style 64-bit finalizer; good avalanche for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  // boost::hash_combine recipe widened to 64 bits.
+  return h ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// Hash a span of trivially-copyable integers.
+template <typename T>
+std::uint64_t hash_span(std::span<const T> s, std::uint64_t seed = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a64(s.data(), s.size_bytes(),
+                 seed ^ 0xcbf29ce484222325ULL);
+}
+
+}  // namespace bgpatoms

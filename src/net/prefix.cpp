@@ -1,0 +1,26 @@
+#include "net/prefix.h"
+
+#include <charconv>
+
+namespace bgpatoms::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [p, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc() || p != len_text.data() + len_text.size())
+    return std::nullopt;
+  if (len < 0 || len > address_bits(addr->family())) return std::nullopt;
+  return Prefix(*addr, len);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace bgpatoms::net

@@ -1,0 +1,171 @@
+// Binary prefix trie (radix-1) keyed by CIDR prefixes.
+//
+// Supports exact lookup, longest-prefix match, and subtree enumeration
+// (all stored subnets of a query prefix). One trie holds one address
+// family; nodes are stored in a flat vector with index links, so the
+// structure is cache-friendly and trivially copyable/movable.
+//
+// This is the lookup substrate used by the topology generator (allocation
+// bookkeeping) and the sanitizer (covering-aggregate checks).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace bgpatoms::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  explicit PrefixTrie(Family family = Family::kIPv4) : family_(family) {
+    nodes_.push_back(Node{});  // root = the zero-length prefix
+  }
+
+  Family family() const { return family_; }
+  std::size_t size() const { return value_count_; }
+  bool empty() const { return value_count_ == 0; }
+
+  /// Inserts or overwrites the value at `prefix`. Returns true if the
+  /// prefix was newly inserted (false if overwritten).
+  bool insert(const Prefix& prefix, T value) {
+    assert(prefix.family() == family_);
+    const std::uint32_t n = descend_create(prefix);
+    const bool fresh = !nodes_[n].has_value;
+    nodes_[n].has_value = true;
+    nodes_[n].value = std::move(value);
+    if (fresh) ++value_count_;
+    return fresh;
+  }
+
+  /// Exact-match lookup.
+  const T* find(const Prefix& prefix) const {
+    const std::int64_t n = descend(prefix);
+    if (n < 0 || !nodes_[n].has_value) return nullptr;
+    return &nodes_[n].value;
+  }
+
+  T* find(const Prefix& prefix) {
+    return const_cast<T*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest stored prefix containing `prefix` (possibly `prefix` itself).
+  std::optional<std::pair<Prefix, T>> longest_match(
+      const Prefix& prefix) const {
+    assert(prefix.family() == family_);
+    std::uint32_t n = 0;
+    std::int64_t best = nodes_[0].has_value ? 0 : -1;
+    int best_depth = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child =
+          nodes_[n].child[prefix.address().bit(depth) ? 1 : 0];
+      if (child == 0) break;
+      n = child;
+      if (nodes_[n].has_value) {
+        best = n;
+        best_depth = depth + 1;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    return std::make_pair(Prefix(prefix.address(), best_depth),
+                          nodes_[best].value);
+  }
+
+  /// True if any stored prefix strictly contains `prefix`.
+  bool has_strict_supernet(const Prefix& prefix) const {
+    assert(prefix.family() == family_);
+    std::uint32_t n = 0;
+    if (nodes_[0].has_value && prefix.length() > 0) return true;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child =
+          nodes_[n].child[prefix.address().bit(depth) ? 1 : 0];
+      if (child == 0) return false;
+      n = child;
+      if (nodes_[n].has_value && depth + 1 < prefix.length()) return true;
+    }
+    return false;
+  }
+
+  /// Invokes `fn(prefix, value)` for every stored prefix equal to or more
+  /// specific than `query`.
+  template <typename Fn>
+  void for_each_covered(const Prefix& query, Fn&& fn) const {
+    assert(query.family() == family_);
+    std::int64_t n = descend(query);
+    if (n < 0) return;
+    walk(static_cast<std::uint32_t>(n), query.address(), query.length(), fn);
+  }
+
+  /// Invokes `fn(prefix, value)` for every stored prefix.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(0, IpAddress(family_, 0, 0), 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::uint32_t child[2] = {0, 0};  // 0 == absent (root is never a child)
+    T value{};
+    bool has_value = false;
+  };
+
+  // Walks to the node for `prefix`, creating nodes as needed.
+  std::uint32_t descend_create(const Prefix& prefix) {
+    std::uint32_t n = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int b = prefix.address().bit(depth) ? 1 : 0;
+      std::uint32_t child = nodes_[n].child[b];
+      if (child == 0) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_[n].child[b] = child;
+        nodes_.push_back(Node{});
+      }
+      n = child;
+    }
+    return n;
+  }
+
+  // Walks to the node for `prefix` or returns -1 if the path is absent.
+  std::int64_t descend(const Prefix& prefix) const {
+    assert(prefix.family() == family_);
+    std::uint32_t n = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t child =
+          nodes_[n].child[prefix.address().bit(depth) ? 1 : 0];
+      if (child == 0) return -1;
+      n = child;
+    }
+    return n;
+  }
+
+  template <typename Fn>
+  void walk(std::uint32_t n, IpAddress addr, int depth, Fn& fn) const {
+    if (nodes_[n].has_value) fn(Prefix(addr, depth), nodes_[n].value);
+    for (int b = 0; b < 2; ++b) {
+      const std::uint32_t child = nodes_[n].child[b];
+      if (child == 0) continue;
+      IpAddress next = addr;
+      if (b == 1) next = set_bit(addr, depth);
+      walk(child, next, depth + 1, fn);
+    }
+  }
+
+  IpAddress set_bit(const IpAddress& a, int depth) const {
+    const int width = address_bits(family_);
+    const int pos = width - 1 - depth;
+    if (family_ == Family::kIPv4) {
+      return IpAddress::v4(a.v4_value() | (1u << pos));
+    }
+    if (pos >= 64) return IpAddress::v6(a.hi() | (1ULL << (pos - 64)), a.lo());
+    return IpAddress::v6(a.hi(), a.lo() | (1ULL << pos));
+  }
+
+  Family family_;
+  std::vector<Node> nodes_;
+  std::size_t value_count_ = 0;
+};
+
+}  // namespace bgpatoms::net

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository must be bit-reproducible, so we avoid
+// std::random_device / std::mt19937 seeding subtleties and use an explicit
+// SplitMix64-seeded xoshiro256** generator. The distribution helpers below
+// are deliberately simple (modulo-free where it matters) and deterministic
+// across platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <cassert>
+
+namespace bgpatoms {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless method, simplified: rejection-free
+    // multiply-shift is fine for our (non-cryptographic) uses.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish heavy tail: returns >= 1, mean roughly `mean`.
+  /// Used for degree / size distributions in the topology generator.
+  std::uint64_t heavy_tail(double mean, double alpha = 2.0,
+                           std::uint64_t cap = 1u << 20) {
+    // Bounded Pareto via inverse transform; alpha > 1 so the mean exists.
+    assert(mean >= 1.0 && alpha > 1.0);
+    const double xm = mean * (alpha - 1.0) / alpha;  // scale for target mean
+    const double u = next_double();
+    const double v = xm / std::pow(1.0 - u, 1.0 / alpha);
+    const auto r = static_cast<std::uint64_t>(v + 0.5);
+    if (r < 1) return 1;
+    return r > cap ? cap : r;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel-safe sub-streams).
+  Rng fork(std::uint64_t salt) {
+    SplitMix64 sm(next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL + 1));
+    Rng r(sm.next());
+    return r;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace bgpatoms

@@ -1,0 +1,351 @@
+#include "routing/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "net/rng.h"
+
+namespace bgpatoms::routing {
+
+namespace {
+
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Rel;
+using topo::Tier;
+using topo::Topology;
+
+class PolicyAssigner {
+ public:
+  PolicyAssigner(const Topology& topo, std::uint64_t seed)
+      : topo_(topo), p_(topo.params), rng_(seed ^ 0xa02cull) {}
+
+  PolicySet run() {
+    build_prefix_table();
+    out_.units_by_origin.resize(topo_.graph.size());
+    for (NodeId v = 0; v < topo_.graph.size(); ++v) {
+      assign_for_node(v);
+    }
+    assign_moas_units();
+    return std::move(out_);
+  }
+
+ private:
+  void build_prefix_table() {
+    for (NodeId v = 0; v < topo_.graph.size(); ++v) {
+      for (const auto& pfx : topo_.prefixes[v]) {
+        prefix_id_.emplace(pfx, static_cast<GlobalPrefixId>(
+                                    out_.all_prefixes.size()));
+        out_.all_prefixes.push_back(pfx);
+      }
+    }
+  }
+
+  void assign_for_node(NodeId v) {
+    const auto& mine = topo_.prefixes[v];
+    if (mine.empty()) return;
+
+    // --- partition the prefixes into policy units ------------------------
+    std::vector<GlobalPrefixId> ids;
+    ids.reserve(mine.size());
+    for (const auto& pfx : mine) ids.push_back(prefix_id_.at(pfx));
+    rng_.shuffle(ids);
+
+    std::vector<std::vector<GlobalPrefixId>> parts;
+    if (mine.size() == 1 || rng_.chance(p_.single_unit_prob)) {
+      parts.push_back(std::move(ids));
+    } else {
+      std::size_t cursor = 0;
+      // Optionally one "bulk" unit covering a large share of the prefixes
+      // (giant atoms come from here), then heavy-tailed small units.
+      if (rng_.chance(p_.bulk_unit_prob)) {
+        const auto take = static_cast<std::size_t>(
+            (0.2 + 0.4 * rng_.next_double()) * static_cast<double>(ids.size()));
+        if (take >= 2) {
+          parts.emplace_back(ids.begin(), ids.begin() + take);
+          cursor = take;
+        }
+      }
+      while (cursor < ids.size()) {
+        std::size_t take = 1;
+        if (!rng_.chance(p_.unit_size_one_prob)) {
+          // Sizes >= 2 with mean 1 + unit_size_extra_mean.
+          take = 1 + rng_.heavy_tail(p_.unit_size_extra_mean, 1.7, 512);
+          if (take < 2) take = 2;
+        }
+        take = std::min(take, ids.size() - cursor);
+        parts.emplace_back(ids.begin() + cursor, ids.begin() + cursor + take);
+        cursor += take;
+      }
+    }
+
+    // --- assign policies -------------------------------------------------
+    std::size_t bulk_index = 0;
+    for (std::size_t u = 1; u < parts.size(); ++u) {
+      if (parts[u].size() > parts[bulk_index].size()) bulk_index = u;
+    }
+    std::vector<UnitPolicy> assigned;
+    assigned.reserve(parts.size());
+    for (std::size_t u = 0; u < parts.size(); ++u) {
+      OriginUnit unit;
+      unit.id = static_cast<UnitId>(out_.units.size());
+      unit.origin = v;
+      unit.prefixes = std::move(parts[u]);
+      // Units exist because they are treated differently: re-roll a few
+      // times if the drawn policy duplicates a sibling's (duplicates would
+      // silently merge back into one atom).
+      for (int roll = 0; roll < 4; ++roll) {
+        unit.policy = make_policy(v, u == bulk_index, parts.size() > 1);
+        if (std::find(assigned.begin(), assigned.end(), unit.policy) ==
+            assigned.end()) {
+          break;
+        }
+      }
+      assigned.push_back(unit.policy);
+      out_.units_by_origin[v].push_back(unit.id);
+      out_.units.push_back(std::move(unit));
+    }
+  }
+
+  UnitPolicy make_policy(NodeId v, bool is_bulk, bool multi_unit) {
+    UnitPolicy pol;
+    const auto& node = topo_.graph.node(v);
+
+    // Neighbor index sets by role, used by several decisions below.
+    std::vector<std::uint16_t> providers, peers, always;
+    for (std::uint16_t i = 0; i < node.neighbors.size(); ++i) {
+      switch (node.neighbors[i].rel) {
+        case Rel::kProvider:
+          providers.push_back(i);
+          break;
+        case Rel::kPeer:
+          peers.push_back(i);
+          break;
+        default:
+          always.push_back(i);  // customers + siblings always hear us
+      }
+    }
+
+    if (!multi_unit || is_bulk) {
+      // The bulk (or only) unit keeps the AS's default export behaviour.
+      finish_policy(pol, node);
+      return pol;
+    }
+
+    // Localized unit: announced to one provider with NO_EXPORT. These are
+    // the prefixes the >=4-peer-AS filter is designed to remove.
+    if (rng_.chance(p_.local_unit_prob) && !providers.empty()) {
+      pol.no_export = true;
+      pol.announce_to = {providers[rng_.next_below(providers.size())]};
+      pol.communities.push_back(bgp::make_community(
+          static_cast<std::uint16_t>(node.asn & 0xffff), 65281));
+      return pol;
+    }
+
+    // Mechanism roulette: every non-bulk unit exists because the operator
+    // treats it differently, so exactly one distinguishing mechanism is
+    // chosen (weights per era; inapplicable picks fall through).
+    enum { kPrepend, kScoped, kSelective, kTransit1, kTransit2 };
+    const double w[5] = {p_.w_prepend, p_.w_scoped, p_.w_selective,
+                         p_.w_transit1, p_.w_transit2};
+    double roll =
+        rng_.next_double() * (w[0] + w[1] + w[2] + w[3] + w[4]);
+    int mech = kPrepend;
+    for (; mech < kTransit2; ++mech) {
+      if (roll < w[mech]) break;
+      roll -= w[mech];
+    }
+
+    bool applied = false;
+    for (int attempt = 0; attempt < 3 && !applied; ++attempt) {
+      switch (mech) {
+        case kPrepend:  // distance 1: prepending toward some providers
+          if (!providers.empty()) {
+            const std::size_t n = 1 + rng_.next_below(providers.size());
+            std::vector<std::uint16_t> shuffled = providers;
+            rng_.shuffle(shuffled);
+            pol.prepend_to.assign(shuffled.begin(), shuffled.begin() + n);
+            pol.prepend_count =
+                static_cast<std::uint8_t>(1 + rng_.next_below(3));
+            applied = true;
+          }
+          break;
+        case kScoped:  // distance 1: visibility differs per vantage point
+          if (!peers.empty()) {
+            // Peer-only announcement (content-style regional export).
+            pol.announce_to = always;
+            pol.announce_to.insert(pol.announce_to.end(), peers.begin(),
+                                   peers.end());
+            applied = true;
+          } else if (!providers.empty()) {
+            // One provider, with two regions blocked at that provider.
+            const std::uint16_t keep =
+                providers[rng_.next_below(providers.size())];
+            pol.announce_to = always;
+            pol.announce_to.push_back(keep);
+            const NodeId pnode = node.neighbors[keep].node;
+            for (int r = 0; r < 2; ++r) {
+              TransitRule rule;
+              rule.kind = TransitRule::Kind::kBlockRegionExport;
+              rule.at = pnode;
+              rule.region = static_cast<std::uint16_t>(
+                  rng_.next_below(p_.n_regions));
+              pol.transit_rules.push_back(rule);
+            }
+            applied = true;
+          }
+          break;
+        case kSelective:  // distance 2: strict provider subset
+          if (providers.size() >= 2) {
+            pol.announce_to = always;
+            pol.announce_to.insert(pol.announce_to.end(), peers.begin(),
+                                   peers.end());
+            const std::size_t keep = 1 + rng_.next_below(providers.size() - 1);
+            std::vector<std::uint16_t> shuffled = providers;
+            rng_.shuffle(shuffled);
+            pol.announce_to.insert(pol.announce_to.end(), shuffled.begin(),
+                                   shuffled.begin() + keep);
+            applied = true;
+          }
+          break;
+        case kTransit1:   // distance 3: rule one provider hop up
+        case kTransit2: {  // distance 4: rule two provider hops up
+          if (auto rule = make_transit_rule(v, mech == kTransit1 ? 1 : 2)) {
+            pol.transit_rules.push_back(*rule);
+            // Regional policies usually scope several regions at once; a
+            // second blocked region also raises the chance the rule is
+            // visible from some vantage point at all.
+            if (rule->kind == TransitRule::Kind::kBlockRegionExport &&
+                rng_.chance(0.6)) {
+              TransitRule second = *rule;
+              second.region = static_cast<std::uint16_t>(
+                  (rule->region + 1 + rng_.next_below(p_.n_regions - 1)) %
+                  p_.n_regions);
+              pol.transit_rules.push_back(second);
+            }
+            if (rng_.chance(p_.community_action_prob)) {
+              // The rule was requested via an action community
+              // (GTT 3257:2990 / Orange style).
+              const auto target_asn = static_cast<std::uint16_t>(
+                  topo_.graph.node(rule->at).asn & 0xffff);
+              const std::uint16_t value =
+                  rule->kind == TransitRule::Kind::kPrependRegionExport
+                      ? static_cast<std::uint16_t>(2590 + rule->region)
+                      : static_cast<std::uint16_t>(2990 + rule->region);
+              pol.communities.push_back(
+                  bgp::make_community(target_asn, value));
+            }
+            applied = true;
+          }
+          break;
+        }
+      }
+      // Fallback chain: an inapplicable selective announce (single-homed
+      // origin) degrades to a transit-side rule — exactly the real-world
+      // observation that single-homed customers rely on their transit's
+      // communities; transit dead-ends degrade toward origin-side knobs.
+      if (!applied) {
+        mech = mech == kSelective  ? kTransit1
+               : mech == kTransit2 ? kTransit1
+               : mech == kTransit1 ? kScoped
+               : mech == kScoped   ? kPrepend
+                                   : kScoped;
+      }
+    }
+
+    finish_policy(pol, node);
+    return pol;
+  }
+
+  /// Decorations independent of the distinguishing mechanism.
+  void finish_policy(UnitPolicy& pol, const topo::AsNode& node) {
+    // Informational communities (ingress tagging etc.).
+    if (rng_.chance(0.3)) {
+      pol.communities.push_back(bgp::make_community(
+          static_cast<std::uint16_t>(node.asn & 0xffff),
+          static_cast<std::uint16_t>(100 + rng_.next_below(20))));
+    }
+    // Rare aggregation artifact producing AS_SET paths.
+    if (rng_.chance(p_.as_set_prob)) {
+      pol.as_set_mode = rng_.chance(0.5) ? 1 : 2;
+    }
+  }
+
+  /// Builds a selective-export rule at a transit `hops` provider-edges above
+  /// `v`. Interior siblings of an organization first climb the sibling
+  /// chain to the externally-connected head (the DoD pattern of §4.3, which
+  /// pushes formation distances out by the chain length). Returns nullopt
+  /// if the walk dead-ends.
+  std::optional<TransitRule> make_transit_rule(NodeId v, int hops) {
+    NodeId at = v;
+    // Climb sibling edges toward the org head (bounded walk, no backtrack).
+    NodeId prev = topo::kNoNode;
+    for (int s = 0; s < 8; ++s) {
+      const auto& nbs = topo_.graph.node(at).neighbors;
+      bool has_provider = false;
+      NodeId sib = topo::kNoNode;
+      for (const auto& nb : nbs) {
+        if (nb.rel == Rel::kProvider) has_provider = true;
+        if (nb.rel == Rel::kSibling && nb.node != prev) sib = nb.node;
+      }
+      if (has_provider || sib == topo::kNoNode) break;
+      prev = at;
+      at = sib;
+    }
+    for (int h = 0; h < hops; ++h) {
+      std::vector<NodeId> provs;
+      for (const auto& nb : topo_.graph.node(at).neighbors) {
+        if (nb.rel == Rel::kProvider) provs.push_back(nb.node);
+      }
+      if (provs.empty()) return std::nullopt;
+      at = provs[rng_.next_below(provs.size())];
+    }
+    const auto& tnode = topo_.graph.node(at);
+    TransitRule rule;
+    rule.at = at;
+    if (rng_.chance(0.15)) {
+      // Block one specific neighbor (private interconnect politics).
+      if (tnode.neighbors.empty()) return std::nullopt;
+      const auto& nb =
+          tnode.neighbors[rng_.next_below(tnode.neighbors.size())];
+      rule.kind = TransitRule::Kind::kBlockNeighbor;
+      rule.neighbor = nb.node;
+    } else {
+      rule.region = static_cast<std::uint16_t>(rng_.next_below(p_.n_regions));
+      rule.kind = rng_.chance(0.7) ? TransitRule::Kind::kBlockRegionExport
+                                   : TransitRule::Kind::kPrependRegionExport;
+      rule.prepend = static_cast<std::uint8_t>(1 + rng_.next_below(2));
+    }
+    return rule;
+  }
+
+  void assign_moas_units() {
+    for (const auto& [node, pfx] : topo_.moas_extra) {
+      const auto it = prefix_id_.find(pfx);
+      if (it == prefix_id_.end()) continue;
+      OriginUnit unit;
+      unit.id = static_cast<UnitId>(out_.units.size());
+      unit.origin = node;
+      unit.prefixes = {it->second};
+      unit.policy = UnitPolicy{};  // plain announce-everywhere
+      out_.units_by_origin[node].push_back(unit.id);
+      out_.units.push_back(std::move(unit));
+    }
+  }
+
+  const Topology& topo_;
+  const topo::EraParams& p_;
+  Rng rng_;
+  PolicySet out_;
+  std::unordered_map<net::Prefix, GlobalPrefixId, net::PrefixHash> prefix_id_;
+};
+
+}  // namespace
+
+PolicySet assign_policies(const topo::Topology& topo, std::uint64_t seed) {
+  PolicyAssigner assigner(topo, seed);
+  return assigner.run();
+}
+
+}  // namespace bgpatoms::routing

@@ -1,0 +1,89 @@
+// Routing-policy model.
+//
+// Prefixes are originated in "units": groups of prefixes that their origin
+// AS treats identically (announced to the same neighbors, with the same
+// prepending / communities / transit-side treatment). Units are the
+// simulator's ground truth of routing policy; policy atoms are what the
+// analysis layer infers back from observed AS paths — the two coincide only
+// to the extent the measurement methodology works, which is exactly what
+// the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/pools.h"
+#include "net/prefix.h"
+#include "topo/topology.h"
+
+namespace bgpatoms::routing {
+
+using UnitId = std::uint32_t;
+using GlobalPrefixId = std::uint32_t;  // index into PolicySet::all_prefixes
+
+/// A policy rule applied by a transit AS to a specific unit — the
+/// mechanism behind "atoms formed at distance >= 3" (paper §4.3): the AS
+/// *after* the rule-applying transit differs between atoms.
+struct TransitRule {
+  enum class Kind : std::uint8_t {
+    kBlockNeighbor,        // do not export to one specific neighbor
+    kBlockRegionExport,    // do not export to neighbors in a region
+    kPrependRegionExport,  // prepend when exporting to neighbors in a region
+  };
+  Kind kind = Kind::kBlockNeighbor;
+  topo::NodeId at = topo::kNoNode;  // the transit applying the rule
+  topo::NodeId neighbor = topo::kNoNode;  // kBlockNeighbor target
+  std::uint16_t region = 0;               // region rules
+  std::uint8_t prepend = 0;               // kPrependRegionExport count
+
+  friend bool operator==(const TransitRule&, const TransitRule&) = default;
+};
+
+struct UnitPolicy {
+  /// Neighbor indices (into the origin's neighbor list) the unit is
+  /// announced to; empty means "all neighbors".
+  std::vector<std::uint16_t> announce_to;
+  /// Neighbor indices receiving `prepend_count` extra copies of the origin
+  /// ASN (AS-path prepending as inbound traffic engineering).
+  std::vector<std::uint16_t> prepend_to;
+  std::uint8_t prepend_count = 0;
+  /// The first AS receiving the unit must not re-export it (RFC 1997
+  /// NO_EXPORT): the unit stays local — such prefixes are what the paper's
+  /// >=4-peer-AS visibility filter removes.
+  bool no_export = false;
+  /// Transit-side rules (selective export, region prepending), whether
+  /// unilateral or requested through action communities.
+  std::vector<TransitRule> transit_rules;
+  /// Informational + action communities attached at origination.
+  std::vector<bgp::Community> communities;
+  /// Route aggregation artifact: paths for this unit carry an AS_SET tail.
+  /// 0 = none, 1 = singleton set (expandable), 2 = multi-member set.
+  std::uint8_t as_set_mode = 0;
+
+  friend bool operator==(const UnitPolicy&, const UnitPolicy&) = default;
+};
+
+struct OriginUnit {
+  UnitId id = 0;
+  topo::NodeId origin = topo::kNoNode;
+  std::vector<GlobalPrefixId> prefixes;
+  UnitPolicy policy;
+};
+
+struct PolicySet {
+  /// Global prefix table; GlobalPrefixId indexes into it. The simulator
+  /// interns these into its dataset's PrefixPool in the same order, so the
+  /// ids coincide.
+  std::vector<net::Prefix> all_prefixes;
+  std::vector<OriginUnit> units;
+  /// Unit ids per origin node (indexed by NodeId).
+  std::vector<std::vector<UnitId>> units_by_origin;
+
+  std::size_t unit_count() const { return units.size(); }
+};
+
+/// Groups every AS's prefixes into units and assigns policies according to
+/// the era parameters embedded in `topo`. Deterministic in (topo, seed).
+PolicySet assign_policies(const topo::Topology& topo, std::uint64_t seed);
+
+}  // namespace bgpatoms::routing

@@ -1,0 +1,165 @@
+#include "routing/propagation.h"
+
+#include <cassert>
+#include <queue>
+
+namespace bgpatoms::routing {
+
+using topo::AsGraph;
+using topo::kNoNode;
+using topo::Neighbor;
+using topo::NodeId;
+using topo::Rel;
+
+Propagator::Propagator(const AsGraph& graph) : graph_(graph) {}
+
+bool Propagator::export_allowed(NodeId origin, const UnitPolicy* policy,
+                                NodeId from, const Neighbor& to,
+                                std::uint8_t& prepend) const {
+  prepend = 0;
+  if (policy == nullptr) return true;
+
+  if (from == origin) {
+    if (!policy->announce_to.empty()) {
+      // announce_to stores neighbor indices; recover the index of `to`.
+      const auto& nbs = graph_.node(from).neighbors;
+      std::uint16_t idx = UINT16_MAX;
+      for (std::uint16_t i = 0; i < nbs.size(); ++i) {
+        if (&nbs[i] == &to) {
+          idx = i;
+          break;
+        }
+      }
+      bool allowed = false;
+      for (std::uint16_t a : policy->announce_to) {
+        if (a == idx) {
+          allowed = true;
+          break;
+        }
+      }
+      if (!allowed) return false;
+    }
+    if (policy->prepend_count > 0) {
+      const auto& nbs = graph_.node(from).neighbors;
+      for (std::uint16_t a : policy->prepend_to) {
+        if (a < nbs.size() && &nbs[a] == &to) {
+          prepend = policy->prepend_count;
+          break;
+        }
+      }
+    }
+  } else if (policy->no_export) {
+    return false;  // NO_EXPORT: the first AS keeps the route to itself
+  }
+
+  for (const auto& rule : policy->transit_rules) {
+    if (rule.at != from) continue;
+    switch (rule.kind) {
+      case TransitRule::Kind::kBlockNeighbor:
+        if (to.node == rule.neighbor) return false;
+        break;
+      case TransitRule::Kind::kBlockRegionExport:
+        if (graph_.node(to.node).region == rule.region) return false;
+        break;
+      case TransitRule::Kind::kPrependRegionExport:
+        if (graph_.node(to.node).region == rule.region) {
+          prepend = static_cast<std::uint8_t>(prepend + rule.prepend);
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+void Propagator::compute(NodeId origin, const UnitPolicy* policy,
+                         RouteTable& t) const {
+  const std::size_t n = graph_.size();
+  t.dist.assign(n, UINT32_MAX);
+  t.cls.assign(n, RouteClass::kNone);
+  t.parent.assign(n, kNoNode);
+  t.edge_prepend.assign(n, 0);
+
+  t.dist[origin] = 0;
+  t.cls[origin] = RouteClass::kSelf;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+
+  // Pushes a candidate route at `to` learned from `from`.
+  auto relax = [&](NodeId from, const Neighbor& to) {
+    if (t.cls[to.node] != RouteClass::kNone) return;  // finalized earlier
+    std::uint8_t prepend = 0;
+    if (!export_allowed(origin, policy, from, to, prepend)) return;
+    const std::uint32_t d = t.dist[from] + 1 + prepend;
+    pq.push(QueueEntry{d, graph_.node(from).asn, to.node, from, prepend});
+  };
+
+  // Runs one Dijkstra phase: nodes popped get `assign_cls`; the popped
+  // node's outgoing edges are relaxed when `edge_ok(rel)` holds.
+  auto drain = [&](RouteClass assign_cls, auto edge_ok) {
+    while (!pq.empty()) {
+      const QueueEntry e = pq.top();
+      pq.pop();
+      if (t.cls[e.node] != RouteClass::kNone) continue;  // lazy deletion
+      t.cls[e.node] = assign_cls;
+      t.dist[e.node] = e.dist;
+      t.parent[e.node] = e.parent;
+      t.edge_prepend[e.node] = e.prepend;
+      for (const auto& nb : graph_.node(e.node).neighbors) {
+        if (edge_ok(nb.rel)) relax(e.node, nb);
+      }
+    }
+  };
+
+  // --- phase 1: customer routes climb provider (and sibling) edges -----
+  const auto climb_ok = [](Rel r) {
+    return r == Rel::kProvider || r == Rel::kSibling;
+  };
+  for (const auto& nb : graph_.node(origin).neighbors) {
+    if (climb_ok(nb.rel)) relax(origin, nb);
+  }
+  drain(RouteClass::kCustomer, climb_ok);
+
+  // --- phase 2: one peer hop, then sibling spread ------------------------
+  for (NodeId u = 0; u < n; ++u) {
+    if (t.cls[u] != RouteClass::kSelf && t.cls[u] != RouteClass::kCustomer)
+      continue;
+    for (const auto& nb : graph_.node(u).neighbors) {
+      if (nb.rel == Rel::kPeer) relax(u, nb);
+    }
+  }
+  drain(RouteClass::kPeer, [](Rel r) { return r == Rel::kSibling; });
+
+  // --- phase 3: provider routes descend customer (and sibling) edges ---
+  const auto descend_ok = [](Rel r) {
+    return r == Rel::kCustomer || r == Rel::kSibling;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    if (t.cls[u] == RouteClass::kNone) continue;
+    for (const auto& nb : graph_.node(u).neighbors) {
+      if (descend_ok(nb.rel)) relax(u, nb);
+    }
+  }
+  drain(RouteClass::kProvider, descend_ok);
+}
+
+net::AsPath Propagator::extract_path(const RouteTable& t,
+                                     NodeId node) const {
+  if (!t.reachable(node) || t.cls[node] == RouteClass::kSelf) {
+    return net::AsPath();
+  }
+  std::vector<net::Asn> hops;
+  hops.reserve(t.dist[node]);
+  NodeId cur = node;
+  while (t.cls[cur] != RouteClass::kSelf) {
+    const NodeId p = t.parent[cur];
+    assert(p != kNoNode);
+    const net::Asn asn = graph_.node(p).asn;
+    for (int i = 0; i <= t.edge_prepend[cur]; ++i) hops.push_back(asn);
+    cur = p;
+  }
+  return net::AsPath::sequence(std::move(hops));
+}
+
+}  // namespace bgpatoms::routing

@@ -1,0 +1,95 @@
+// Valley-free (Gao-Rexford) best-path computation.
+//
+// For one destination (an origin AS announcing a unit under a given
+// policy), computes every AS's best route under the standard model:
+//
+//   * export: customer-learned routes go to everyone; peer/provider-learned
+//     routes go to customers only; sibling edges re-export everything,
+//   * selection: customer-learned > peer-learned > provider-learned, then
+//     shortest AS path (prepending included), then lowest next-hop ASN.
+//
+// The computation runs in three phases (customer routes climbing provider
+// edges, a single peer-edge step, provider routes descending customer
+// edges), each a Dijkstra over prepend-weighted hop counts. Policy knobs —
+// restricted origin announcement, NO_EXPORT, per-unit transit rules,
+// prepending — are applied as edge filters/weights during relaxation, so a
+// policy change produces exactly the path changes real BGP would converge
+// to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/aspath.h"
+#include "routing/policy.h"
+#include "topo/as_graph.h"
+
+namespace bgpatoms::routing {
+
+/// Route class in selection-preference order (lower wins).
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,      // the origin itself
+  kCustomer = 1,  // learned from a customer (or via siblings from one)
+  kPeer = 2,      // learned from a peer
+  kProvider = 3,  // learned from a provider
+  kNone = 255,
+};
+
+/// Per-node routing outcome of one propagation run.
+struct RouteTable {
+  std::vector<std::uint32_t> dist;     // AS-path entry count; UINT32_MAX = ∞
+  std::vector<RouteClass> cls;
+  std::vector<topo::NodeId> parent;    // neighbor the route was learned from
+  std::vector<std::uint8_t> edge_prepend;  // extra parent-ASN copies on hop
+
+  bool reachable(topo::NodeId v) const {
+    return cls[v] != RouteClass::kNone;
+  }
+};
+
+class Propagator {
+ public:
+  explicit Propagator(const topo::AsGraph& graph);
+
+  /// Computes routes toward `origin` for a unit with `policy` (nullptr =
+  /// default announce-everywhere policy). Reuses `out`'s storage.
+  void compute(topo::NodeId origin, const UnitPolicy* policy,
+               RouteTable& out) const;
+
+  /// The AS path stored in `node`'s RIB for this run: wire order, nearest
+  /// hop first, origin last; the node's own ASN is NOT included. Empty if
+  /// unreachable or if `node` is the origin.
+  net::AsPath extract_path(const RouteTable& table, topo::NodeId node) const;
+
+  /// Hops (ASN entry count) of extract_path without building it.
+  std::uint32_t path_length(const RouteTable& table, topo::NodeId node) const {
+    return table.dist[node];
+  }
+
+  const topo::AsGraph& graph() const { return graph_; }
+
+ private:
+  struct QueueEntry {
+    std::uint32_t dist;
+    net::Asn parent_asn;  // deterministic tie-break
+    topo::NodeId node;
+    topo::NodeId parent;
+    std::uint8_t prepend;
+
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      if (a.dist != b.dist) return a.dist > b.dist;
+      if (a.parent_asn != b.parent_asn) return a.parent_asn > b.parent_asn;
+      return a.node > b.node;
+    }
+  };
+
+  /// True if `from` may export this unit to `to_neighbor` given the phase
+  /// semantics and the unit policy; sets `prepend` to the extra hop count.
+  bool export_allowed(topo::NodeId origin, const UnitPolicy* policy,
+                      topo::NodeId from, const topo::Neighbor& to,
+                      std::uint8_t& prepend) const;
+
+  const topo::AsGraph& graph_;
+};
+
+}  // namespace bgpatoms::routing

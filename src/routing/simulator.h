@@ -1,0 +1,149 @@
+// BGP measurement-campaign simulator.
+//
+// Owns a topology + policy set, evolves routing policy over simulated time
+// (unit splits/merges driving atom churn), and materializes what the
+// collector infrastructure would record: RIB snapshots per peer (with the
+// fault injection of Appendix A8.3 — ADD-PATH garbage, a private-ASN
+// injector, duplicate emitters, partial feeds) and UPDATE streams packed
+// under the BGP message-size limit.
+//
+// Typical campaign (mirrors the paper's §2.4.1):
+//
+//   Simulator sim(generate_topology(era, seed), opts);
+//   sim.capture();                       // RIB at t0
+//   sim.emit_updates(4 * kHour);         // updates for 4h after t0
+//   sim.advance_to(8 * kHour);  sim.capture();
+//   sim.advance_to(24 * kHour); sim.capture();
+//   sim.advance_to(7 * kDay);   sim.capture();
+//   // sim.dataset() now holds 4 snapshots + the update stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/dataset.h"
+#include "net/rng.h"
+#include "routing/policy.h"
+#include "routing/propagation.h"
+#include "topo/topology.h"
+
+namespace bgpatoms::routing {
+
+constexpr bgp::Timestamp kMinute = 60;
+constexpr bgp::Timestamp kHour = 3600;
+constexpr bgp::Timestamp kDay = 24 * kHour;
+constexpr bgp::Timestamp kWeek = 7 * kDay;
+
+struct SimOptions {
+  std::uint64_t seed = 1;
+  /// Schedule per-unit composition breaks over the first week from the
+  /// era's churn_8h/churn_24h/churn_1w anchors (stability experiments).
+  bool weekly_churn = true;
+  /// Ongoing split/merge events per day beyond the weekly schedule
+  /// (<=0 uses 0; the daily-split experiments set this from the era).
+  double daily_event_rate = 0.0;
+  /// Base wall-clock of the campaign (snapshot timestamps are base+now).
+  bgp::Timestamp base_time = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(topo::Topology topo, SimOptions opt = {});
+
+  const topo::Topology& topology() const { return topo_; }
+  const PolicySet& policies() const { return policies_; }
+  bgp::Dataset& dataset() { return ds_; }
+  const bgp::Dataset& dataset() const { return ds_; }
+  bgp::Timestamp now() const { return now_; }
+
+  /// Applies all scheduled composition events with time <= t (sim-relative
+  /// seconds) and moves the clock. Time can only move forward.
+  void advance_to(bgp::Timestamp t);
+
+  /// Captures all peers' RIBs at the current clock into the dataset.
+  /// Returns the snapshot index.
+  std::size_t capture();
+
+  /// Appends an update stream covering [now, now+duration) to the dataset:
+  /// whole-unit path events, sub-unit partial announcements, withdraw/
+  /// re-announce cycles and single-prefix flap noise. Does not move the
+  /// composition clock.
+  void emit_updates(bgp::Timestamp duration);
+
+  /// Drops snapshot `index` from the dataset (rolling-window campaigns).
+  void drop_snapshot(std::size_t index);
+
+  /// Number of composition events applied so far (tests/diagnostics).
+  std::size_t events_applied() const { return events_applied_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kSplitGlobal, kSplitVpLocal, kMerge };
+  struct Event {
+    bgp::Timestamp time = 0;
+    EventKind kind = EventKind::kSplitGlobal;
+    UnitId unit = 0;
+  };
+
+  /// Current recorded path per (unit, vantage point): the VP's ASN followed
+  /// by its RIB path. Indexed by unit id; entries sorted by vp index.
+  struct VpPath {
+    std::uint16_t vp;
+    bgp::PathId path;
+
+    friend bool operator==(const VpPath&, const VpPath&) = default;
+  };
+
+  void schedule_weekly_churn();
+  void extend_daily_schedule(bgp::Timestamp until);
+  void apply_event(const Event& e);
+  void split_unit(UnitId u, bool vp_local);
+  void merge_unit(UnitId u);
+  void mutate_policy_globally(UnitPolicy& pol, topo::NodeId origin);
+
+  /// Recomputes VP paths for all dirty units.
+  void refresh_unit_paths();
+  void compute_unit_group(topo::NodeId origin,
+                          const std::vector<UnitId>& group);
+  net::AsPath apply_as_set(const net::AsPath& path, std::uint8_t mode) const;
+  std::uint32_t path_selection_length(bgp::PathId id);
+  void inject_faults(std::uint16_t vp_index,
+                     std::vector<bgp::RibRecord>& rib);
+  std::vector<OriginUnit> policy_clusters();
+  bgp::PathId inject_private_asn(bgp::PathId id);
+  net::IpAddress peer_address(std::uint16_t vp_index) const;
+  void emit_unit_event(std::vector<bgp::UpdateRecord>& out,
+                       const OriginUnit& unit, const VpPath& entry,
+                       bgp::CommunitySetId comms, bgp::Timestamp t,
+                       double frag_prob, bool withdraw_first);
+
+  topo::Topology topo_;
+  SimOptions opt_;
+  PolicySet policies_;
+  Propagator propagator_;
+  Rng rng_;
+  bgp::Dataset ds_;
+  bgp::Timestamp now_ = 0;
+
+  std::vector<std::vector<VpPath>> unit_paths_;
+  std::vector<char> unit_dirty_;
+  /// Owning unit per global prefix id (moves on splits/merges).
+  std::vector<UnitId> prefix_unit_;
+  std::uint16_t flappy_vp_ = 0;   // dominant split-observing peer (Fig. 7)
+  std::uint16_t flappy_vp2_ = 0;  // runner-up
+  /// Vantage points at stub/content ASes (local changes stay local).
+  std::vector<std::uint16_t> edge_vps_;
+
+  std::deque<Event> schedule_;  // sorted by time
+  bgp::Timestamp scheduled_until_ = 0;
+  std::vector<std::pair<UnitId, UnitId>> split_history_;
+  std::size_t events_applied_ = 0;
+
+  // caches / scratch
+  RouteTable scratch_table_;
+  std::vector<std::uint32_t> path_len_cache_;
+  std::unordered_map<bgp::PathId, bgp::PathId> private_asn_cache_;
+};
+
+}  // namespace bgpatoms::routing

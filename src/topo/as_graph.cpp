@@ -1,0 +1,35 @@
+#include "topo/as_graph.h"
+
+#include <queue>
+
+namespace bgpatoms::topo {
+
+bool AsGraph::hierarchy_connected() const {
+  if (nodes_.empty()) return true;
+  // Every customer route must be able to climb to some tier-1; tier-1s form
+  // a peer clique. Equivalent check: the graph restricted to provider +
+  // sibling + (tier1<->tier1 peer) edges is connected.
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  std::size_t count = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const auto& nb : nodes_[u].neighbors) {
+      const bool usable =
+          nb.rel == Rel::kProvider || nb.rel == Rel::kCustomer ||
+          nb.rel == Rel::kSibling ||
+          (nodes_[u].tier == Tier::kTier1 &&
+           nodes_[nb.node].tier == Tier::kTier1);
+      if (!usable || seen[nb.node]) continue;
+      seen[nb.node] = 1;
+      ++count;
+      q.push(nb.node);
+    }
+  }
+  return count == nodes_.size();
+}
+
+}  // namespace bgpatoms::topo

@@ -1,0 +1,117 @@
+// AS-level Internet graph with business relationships.
+//
+// Nodes are Autonomous Systems; edges carry the Gao-Rexford relationship
+// (customer/provider, settlement-free peer, or sibling — two ASes of one
+// organization). The graph is the input to the routing engine and is
+// produced by the topology generator (topo/generator.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.h"
+
+namespace bgpatoms::topo {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = UINT32_MAX;
+
+/// The neighbor's role relative to the owning node.
+enum class Rel : std::uint8_t {
+  kProvider = 0,  // neighbor sells us transit
+  kCustomer = 1,  // we sell the neighbor transit
+  kPeer = 2,      // settlement-free peering
+  kSibling = 3,   // same organization
+};
+
+constexpr Rel reverse(Rel r) {
+  switch (r) {
+    case Rel::kProvider:
+      return Rel::kCustomer;
+    case Rel::kCustomer:
+      return Rel::kProvider;
+    default:
+      return r;
+  }
+}
+
+/// Coarse role of an AS in the hierarchy. Used by the generator and by the
+/// vantage-point selector; the routing engine itself only looks at edges.
+enum class Tier : std::uint8_t {
+  kTier1 = 0,    // settlement-free clique, no providers
+  kTransit = 1,  // regional/national transit provider
+  kEdge = 2,     // stub: enterprise / access network
+  kContent = 3,  // content or cloud network (peering-heavy)
+};
+
+struct Neighbor {
+  NodeId node = kNoNode;
+  Rel rel = Rel::kPeer;
+  std::uint16_t region = 0;  // region of the interconnection point
+};
+
+struct AsNode {
+  net::Asn asn = 0;
+  Tier tier = Tier::kEdge;
+  std::uint16_t region = 0;  // home region
+  std::uint32_t org = 0;     // organization id; siblings share it
+  std::vector<Neighbor> neighbors;
+};
+
+class AsGraph {
+ public:
+  NodeId add_node(net::Asn asn, Tier tier, std::uint16_t region,
+                  std::uint32_t org) {
+    if (by_asn_.count(asn)) {
+      throw std::invalid_argument("duplicate ASN " + std::to_string(asn));
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(AsNode{asn, tier, region, org, {}});
+    by_asn_.emplace(asn, id);
+    return id;
+  }
+
+  /// Adds the edge a<->b with `a_role_of_b` = b's role relative to a
+  /// (e.g. Rel::kProvider means b provides transit to a). No-op if the
+  /// edge already exists.
+  void add_edge(NodeId a, NodeId b, Rel b_relative_to_a,
+                std::uint16_t region = 0) {
+    if (a == b) throw std::invalid_argument("self edge");
+    for (const auto& n : nodes_[a].neighbors) {
+      if (n.node == b) return;
+    }
+    nodes_[a].neighbors.push_back({b, b_relative_to_a, region});
+    nodes_[b].neighbors.push_back({a, reverse(b_relative_to_a), region});
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+  const AsNode& node(NodeId id) const { return nodes_[id]; }
+  AsNode& node(NodeId id) { return nodes_[id]; }
+  std::span<const AsNode> nodes() const { return nodes_; }
+
+  NodeId find(net::Asn asn) const {
+    const auto it = by_asn_.find(asn);
+    return it == by_asn_.end() ? kNoNode : it->second;
+  }
+
+  std::size_t edge_count() const {
+    std::size_t n = 0;
+    for (const auto& node : nodes_) n += node.neighbors.size();
+    return n / 2;
+  }
+
+  /// True if every node can reach node 0 by repeatedly following provider
+  /// or sibling edges and then (at the top) peer edges — i.e. the transit
+  /// hierarchy is usable. Cheap sanity check used by tests.
+  bool hierarchy_connected() const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::unordered_map<net::Asn, NodeId> by_asn_;
+};
+
+}  // namespace bgpatoms::topo

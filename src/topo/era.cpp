@@ -1,0 +1,207 @@
+#include "topo/era.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace bgpatoms::topo {
+
+namespace {
+
+/// Piecewise-linear interpolation of `values` anchored at `years`.
+double interp(double year, std::span<const double> years,
+              std::span<const double> values) {
+  if (year <= years.front()) return values.front();
+  if (year >= years.back()) return values.back();
+  for (std::size_t i = 1; i < years.size(); ++i) {
+    if (year <= years[i]) {
+      const double t = (year - years[i - 1]) / (years[i] - years[i - 1]);
+      return values[i - 1] + t * (values[i] - values[i - 1]);
+    }
+  }
+  return values.back();
+}
+
+// IPv4 anchor years. Values at each anchor are sourced from the paper:
+// Table 1 (2004/2024 counts), §3.2 (2002 counts), Table 2 & Fig. 4
+// (formation-distance trend), Table 3 & Fig. 5 (stability), Fig. 12/13
+// (collector infrastructure growth).
+constexpr double kYears4[] = {2002, 2004, 2008, 2012, 2016, 2020, 2023.5, 2024.75};
+
+}  // namespace
+
+EraParams era_params_v4(double year, double scale) {
+  const std::span<const double> Y(kYears4);
+
+  EraParams p;
+  p.year = year;
+  p.family = net::Family::kIPv4;
+  p.scale = scale;
+
+  // Total ASes: 12.5K (2002, §3.2) -> 16.5K (2004) -> 76.7K (2024), Table 1.
+  constexpr double kAs[] = {12500, 16490, 30000, 43000, 55000, 67000, 75500, 76672};
+  p.n_as = std::max(64, static_cast<int>(interp(year, Y, kAs) * scale));
+
+  p.n_tier1 = 10;
+  constexpr double kTransitFrac[] = {0.13, 0.13, 0.12, 0.11, 0.10, 0.10, 0.10, 0.10};
+  p.transit_frac = interp(year, Y, kTransitFrac);
+  // Content/cloud share grows with the flattening of the hierarchy.
+  constexpr double kContentFrac[] = {0.01, 0.015, 0.03, 0.05, 0.06, 0.07, 0.08, 0.08};
+  p.content_frac = interp(year, Y, kContentFrac);
+  p.n_regions = 5;
+
+  // Multihoming rises (more peering links / private interconnects, §4.5).
+  constexpr double kMhEdge[] = {1.45, 1.5, 1.7, 1.85, 1.95, 2.05, 2.1, 2.1};
+  p.mh_edge_mean = interp(year, Y, kMhEdge);
+  constexpr double kSingleHome[] = {0.58, 0.55, 0.50, 0.47, 0.46, 0.46, 0.46, 0.46};
+  p.single_home_prob = interp(year, Y, kSingleHome);
+  p.mh_transit_mean = p.mh_edge_mean + 0.4;
+  constexpr double kPeering[] = {0.04, 0.05, 0.09, 0.13, 0.17, 0.20, 0.22, 0.22};
+  p.peering_density = interp(year, Y, kPeering);
+  constexpr double kFlatten[] = {0.0, 0.05, 0.2, 0.4, 0.55, 0.65, 0.7, 0.7};
+  p.flatten = interp(year, Y, kFlatten);
+  p.sibling_org_prob = 0.03;
+  p.sibling_chain_mean = 3.0;
+
+  // Prefixes per AS: 115K/12.5K=9.2 (2002), 131.5K/16.5K=8.0 (2004),
+  // 1.03M/76.7K=13.4 (2024). Table 1 / §3.2.
+  constexpr double kPpa[] = {9.2, 7.98, 9.0, 10.5, 11.5, 12.6, 13.3, 13.4};
+  p.prefixes_per_as_mean = interp(year, Y, kPpa);
+  constexpr double kSpp[] = {0.40, 0.40, 0.39, 0.39, 0.38, 0.38, 0.37, 0.37};
+  p.single_prefix_as_prob = interp(year, Y, kSpp);
+  p.prefix_alpha = 1.6;
+  constexpr double kMoreSpec[] = {0.08, 0.10, 0.16, 0.22, 0.28, 0.33, 0.35, 0.35};
+  p.more_specific_prob = interp(year, Y, kMoreSpec);
+  constexpr double kLongPfx[] = {0.012, 0.014, 0.02, 0.025, 0.03, 0.035, 0.04, 0.04};
+  p.long_prefix_prob = interp(year, Y, kLongPfx);
+
+  // Units: calibrated against Table 1 — "ASes with one atom" (59.5% in
+  // 2004, 40.4% in 2024; single-prefix ASes are single-atom by definition,
+  // so this parameter covers the multi-prefix remainder), single-prefix
+  // atom share (57.7% -> 73.5%) and mean atom size (3.84 -> 2.13).
+  constexpr double kSingleUnit[] = {0.17, 0.14, 0.10, 0.07, 0.05, 0.04, 0.04, 0.04};
+  p.single_unit_prob = interp(year, Y, kSingleUnit);
+  constexpr double kSizeOne[] = {0.66, 0.68, 0.74, 0.78, 0.81, 0.83, 0.83, 0.83};
+  p.unit_size_one_prob = interp(year, Y, kSizeOne);
+  constexpr double kSizeExtra[] = {2.8, 2.6, 1.9, 1.5, 1.2, 1.0, 1.0, 1.0};
+  p.unit_size_extra_mean = interp(year, Y, kSizeExtra);
+  constexpr double kBulk[] = {0.38, 0.36, 0.30, 0.25, 0.21, 0.18, 0.18, 0.18};
+  p.bulk_unit_prob = interp(year, Y, kBulk);
+  // Mechanism mix: drives Table 2 / Fig. 4. Selective export by transits
+  // grows (17% -> 33% of atoms at distance 3; Kastanakis et al.), partly
+  // requested through action communities whose adoption grew 200-250%
+  // between 2010 and 2018 (Streibelt et al.).
+  constexpr double kWPrepend[] = {0.12, 0.10, 0.08, 0.07, 0.06, 0.06, 0.055, 0.055};
+  p.w_prepend = interp(year, Y, kWPrepend);
+  constexpr double kWScoped[] = {0.22, 0.10, 0.09, 0.08, 0.08, 0.08, 0.08, 0.08};
+  p.w_scoped = interp(year, Y, kWScoped);
+  constexpr double kWSelective[] = {0.34, 0.36, 0.20, 0.12, 0.08, 0.06, 0.06, 0.06};
+  p.w_selective = interp(year, Y, kWSelective);
+  constexpr double kWTransit1[] = {0.22, 0.30, 0.44, 0.48, 0.48, 0.48, 0.48, 0.48};
+  p.w_transit1 = interp(year, Y, kWTransit1);
+  constexpr double kWTransit2[] = {0.10, 0.14, 0.24, 0.29, 0.32, 0.33, 0.33, 0.33};
+  p.w_transit2 = interp(year, Y, kWTransit2);
+  constexpr double kCommunity[] = {0.05, 0.08, 0.25, 0.45, 0.60, 0.70, 0.75, 0.75};
+  p.community_action_prob = interp(year, Y, kCommunity);
+  constexpr double kLocal[] = {0.02, 0.03, 0.05, 0.07, 0.09, 0.10, 0.11, 0.11};
+  p.local_unit_prob = interp(year, Y, kLocal);
+  p.moas_prob = 0.015;  // per-prefix; "consistently below 5%" (§2.4.3)
+  p.as_set_prob = 0.003;  // "less than 1% of paths" (§2.4.4)
+
+  // Collector infrastructure (Fig. 12/13): <50 full-feed peers in 2004,
+  // ~600 in 2024; peers scale with sqrt so small-scale runs keep enough
+  // vantage points for the >=4-peer-AS visibility filter to bite.
+  constexpr double kColl[] = {9, 12, 20, 26, 32, 38, 42, 42};
+  p.n_collectors = std::max(
+      2, static_cast<int>(interp(year, Y, kColl) * std::sqrt(scale) + 0.5));
+  constexpr double kPeers[] = {16, 60, 160, 320, 520, 800, 1080, 1100};
+  p.n_peers = std::max(
+      8, static_cast<int>(interp(year, Y, kPeers) * std::sqrt(scale) + 0.5));
+  constexpr double kFullFrac[] = {0.85, 0.80, 0.65, 0.58, 0.56, 0.55, 0.55, 0.55};
+  p.full_feed_frac = interp(year, Y, kFullFrac);
+  // Collector artifacts appear in the late era (Appendix A8.3 lists 2020-23).
+  p.n_addpath_broken = year >= 2020 ? 3 : 0;
+  p.private_asn_peer = year >= 2020.8 && year <= 2023.3;
+  p.n_dup_peers = year >= 2016 ? 1 : 0;
+
+  // Stability (Table 3: 2004 CAM drops 3.7/8.6/19.7 pp at 8h/24h/1w; Oct
+  // 2024 16.3/20.7/28.1 pp — Fig. 5 shows the 2024 dip is recent).
+  constexpr double kC8[] = {0.047, 0.037, 0.030, 0.026, 0.025, 0.030, 0.045, 0.163};
+  constexpr double kC24[] = {0.084, 0.086, 0.070, 0.062, 0.060, 0.068, 0.090, 0.207};
+  constexpr double kC1w[] = {0.225, 0.197, 0.175, 0.165, 0.160, 0.170, 0.200, 0.281};
+  p.churn_8h = interp(year, Y, kC8);
+  p.churn_24h = interp(year, Y, kC24);
+  p.churn_1w = interp(year, Y, kC1w);
+
+  p.path_event_rate_4h = 1.2;
+  p.flap_noise_rate = 0.012;
+  p.split_events_per_day = std::max(8.0, 2200.0 * scale);
+  p.vp_local_split_frac = 0.85;
+  p.fiti_ases = 0;
+  return p;
+}
+
+EraParams era_params_v6(double year, double scale) {
+  // IPv6 anchors from Table 4 (2011 and 2024 columns) plus Figures 9/11.
+  constexpr double kYears6[] = {2011, 2014, 2017, 2020, 2022, 2024.75};
+  const std::span<const double> Y(kYears6);
+
+  EraParams p = era_params_v4(std::min(year, 2024.75), scale);
+  p.family = net::Family::kIPv6;
+  p.year = year;
+
+  // 2.9K ASes / 4.2K prefixes (2011) -> 34.2K ASes / 227K prefixes (2024).
+  constexpr double kAs[] = {2938, 8000, 14000, 21000, 26000, 34164};
+  p.n_as = std::max(64, static_cast<int>(interp(year, Y, kAs) * scale));
+  constexpr double kPpa[] = {1.42, 2.3, 3.4, 4.6, 5.5, 6.65};
+  p.prefixes_per_as_mean = interp(year, Y, kPpa);
+  constexpr double kSpp[] = {0.75, 0.62, 0.54, 0.47, 0.44, 0.42};
+  p.single_prefix_as_prob = interp(year, Y, kSpp);
+  p.prefix_alpha = 1.7;
+
+  // 87.1% single-atom ASes in 2011, 65.3% in 2024 (Table 4); mean atom
+  // size *grows* 1.20 -> 2.41 (coarser v6 traffic engineering, §5.1).
+  constexpr double kSingleUnit[] = {0.48, 0.46, 0.44, 0.42, 0.41, 0.40};
+  p.single_unit_prob = interp(year, Y, kSingleUnit);
+  constexpr double kSizeOne[] = {0.92, 0.86, 0.81, 0.78, 0.76, 0.75};
+  p.unit_size_one_prob = interp(year, Y, kSizeOne);
+  constexpr double kSizeExtra[] = {1.0, 1.3, 1.5, 1.7, 1.9, 2.0};
+  p.unit_size_extra_mean = interp(year, Y, kSizeExtra);
+  p.bulk_unit_prob = 0.30;
+
+  // Coarser-grained v6 traffic engineering: lower transit-side shares,
+  // more origin-side mechanisms (the paper's §5.4/§5.5 takeaway — smaller
+  // formation distance than v4, more atoms at distances 1 and 2).
+  constexpr double kWPrepend[] = {0.14, 0.12, 0.10, 0.09, 0.085, 0.08};
+  p.w_prepend = interp(year, Y, kWPrepend);
+  constexpr double kWScoped[] = {0.28, 0.22, 0.18, 0.15, 0.14, 0.13};
+  p.w_scoped = interp(year, Y, kWScoped);
+  constexpr double kWSelective[] = {0.44, 0.44, 0.43, 0.42, 0.42, 0.42};
+  p.w_selective = interp(year, Y, kWSelective);
+  constexpr double kWTransit1[] = {0.11, 0.16, 0.21, 0.25, 0.26, 0.27};
+  p.w_transit1 = interp(year, Y, kWTransit1);
+  constexpr double kWTransit2[] = {0.03, 0.06, 0.08, 0.09, 0.095, 0.10};
+  p.w_transit2 = interp(year, Y, kWTransit2);
+  p.more_specific_prob *= 0.6;
+
+  // v6 stability exceeds v4 (§5.2): scale the churn anchors down.
+  constexpr double kC8[] = {0.020, 0.022, 0.022, 0.024, 0.025, 0.030};
+  constexpr double kC24[] = {0.040, 0.043, 0.044, 0.048, 0.050, 0.058};
+  constexpr double kC1w[] = {0.110, 0.115, 0.118, 0.125, 0.130, 0.150};
+  p.churn_8h = interp(year, Y, kC8);
+  p.churn_24h = interp(year, Y, kC24);
+  p.churn_1w = interp(year, Y, kC1w);
+
+  // Fewer v6 peers than v4 in the early years.
+  constexpr double kPeers[] = {30, 80, 180, 350, 500, 700};
+  p.n_peers = std::max(
+      8, static_cast<int>(interp(year, Y, kPeers) * std::sqrt(scale) + 0.5));
+
+  // CERNET FITI testbed (§5.1): 4,096 new ASNs each announcing one /32
+  // subnet of 240a:a000::/20, starting 2021.
+  p.fiti_ases =
+      year >= 2021 ? std::max(16, static_cast<int>(4096 * scale)) : 0;
+  return p;
+}
+
+}  // namespace bgpatoms::topo

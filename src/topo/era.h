@@ -1,0 +1,106 @@
+// Era model: maps a point in time (2002–2024, quarterly) to the parameters
+// of the synthetic Internet.
+//
+// Every parameter is anchored at a handful of years to values derived from
+// the paper's own measurements (Tables 1–4, Figures 4/5/12/13) or from the
+// routing-ecosystem trends the paper cites (flattening, communities
+// adoption, selective export prevalence per Kastanakis et al.), and
+// piecewise-linearly interpolated in between. `scale` shrinks absolute
+// sizes (AS count, prefix count, collector peers) while preserving every
+// ratio the analyses depend on.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ip.h"
+
+namespace bgpatoms::topo {
+
+struct EraParams {
+  double year = 2004.0;  // fractional year, e.g. 2004.75 == Oct 2004
+  net::Family family = net::Family::kIPv4;
+  double scale = 1.0;  // fraction of real-Internet size to generate
+
+  // --- topology ---
+  int n_as = 0;          // total AS count (already scaled)
+  int n_tier1 = 10;      // settlement-free clique size (not scaled)
+  double transit_frac = 0.12;   // share of ASes that are transit providers
+  double content_frac = 0.03;   // share that are content/cloud (peering-heavy)
+  int n_regions = 5;
+  double mh_edge_mean = 1.6;    // mean providers per edge AS
+  double single_home_prob = 0.45;  // share of stubs with exactly 1 provider
+  double mh_transit_mean = 2.0; // mean providers per transit AS
+  double peering_density = 0.05;  // same-region transit/content peering prob
+  double flatten = 0.0;           // extra content<->transit peering (rises)
+  double sibling_org_prob = 0.01; // org owns a sibling-AS chain
+  double sibling_chain_mean = 3.0;
+
+  // --- prefix origination ---
+  double prefixes_per_as_mean = 8.0;
+  double single_prefix_as_prob = 0.38;  // share of ASes announcing 1 prefix
+  double prefix_alpha = 1.6;       // heavy-tail exponent for per-AS counts
+  double more_specific_prob = 0.1; // TE more-specifics next to an aggregate
+  double long_prefix_prob = 0.01;  // > /24 (v4) or > /48 (v6): filtered
+
+  // --- policy / unit structure ---
+  /// P(a multi-prefix AS announces all prefixes as one unit).
+  double single_unit_prob = 0.35;
+  /// Unit-size distribution for splitting ASes: a unit has size 1 with
+  /// `unit_size_one_prob`, else 2 + heavy-tail(unit_size_extra_mean).
+  double unit_size_one_prob = 0.5;
+  double unit_size_extra_mean = 2.7;
+  /// P(the partition starts with one "bulk" unit of 20-60% of the AS's
+  /// prefixes) — the source of the paper's giant atoms.
+  double bulk_unit_prob = 0.35;
+  /// Mechanism mix for non-bulk units of splitting ASes. Each mechanism
+  /// maps to a formation distance (Table 2 / Fig. 4): prepending and
+  /// scoped visibility form atoms at distance 1, selective announcement to
+  /// a provider subset at distance 2, selective export at a transit 1 (2)
+  /// provider-hops up at distance 3 (4). Weights are normalized in use.
+  double w_prepend = 0.10;
+  double w_scoped = 0.12;
+  double w_selective = 0.45;
+  double w_transit1 = 0.24;
+  double w_transit2 = 0.09;
+  /// P(a transit rule was requested via an action community rather than
+  /// applied unilaterally) — attaches the community to the unit.
+  double community_action_prob = 0.3;
+  double local_unit_prob = 0.03;  // no-export localized (filtered)
+  double moas_prob = 0.02;               // prefix also announced by 2nd AS
+  double as_set_prob = 0.006;            // aggregation AS_SET artifact share
+
+  // --- measurement infrastructure ---
+  int n_collectors = 6;
+  int n_peers = 16;             // collector peer sessions (already scaled)
+  double full_feed_frac = 0.8;  // share of peers sharing a full table
+  int n_addpath_broken = 0;     // peers emitting ADD-PATH garbage
+  bool private_asn_peer = false;  // one peer injecting AS65000
+  int n_dup_peers = 0;            // peers with >10% duplicate prefixes
+
+  // --- dynamics ---
+  // Cumulative fraction of units whose composition changes by 8h/24h/1week
+  // after a snapshot (calibrates CAM in Table 3 / Figure 5).
+  double churn_8h = 0.037;
+  double churn_24h = 0.086;
+  double churn_1w = 0.197;
+  double path_event_rate_4h = 1.2;  // whole-unit path changes per unit / 4h
+  double flap_noise_rate = 0.02;    // single-prefix flaps per prefix / 4h
+  double split_events_per_day = 8.0;  // daily atom-split events (Fig 6/7)
+  double vp_local_split_frac = 0.6;   // share of splits local to one VP
+
+  // --- IPv6 specials ---
+  int fiti_ases = 0;  // CERNET FITI burst: /32-per-AS under one /20 block
+};
+
+/// IPv4 era parameters for a fractional `year` in [2002, 2025).
+EraParams era_params_v4(double year, double scale);
+
+/// IPv6 era parameters for a fractional `year` in [2011, 2025).
+EraParams era_params_v6(double year, double scale);
+
+/// Convenience: year+quarter (1-4) to fractional year (Jan=.0 … Oct=.75).
+constexpr double quarter_year(int year, int quarter) {
+  return year + (quarter - 1) * 0.25;
+}
+
+}  // namespace bgpatoms::topo

@@ -1,0 +1,50 @@
+// Synthetic Internet topology: the output of the generator and the input
+// to the routing engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/prefix.h"
+#include "topo/as_graph.h"
+#include "topo/era.h"
+
+namespace bgpatoms::topo {
+
+/// A collector peer session (candidate vantage point).
+struct VantagePoint {
+  NodeId node = kNoNode;
+  std::uint16_t collector = 0;
+  /// Fraction of the routing table this peer shares with the collector;
+  /// 1.0 == full feed. The paper's §2.4.2 full-feed inference must recover
+  /// this from the data alone.
+  double share_fraction = 1.0;
+  /// Fault injection mirroring Appendix A8.3.
+  bool addpath_broken = false;
+  bool private_asn_injector = false;
+  bool duplicate_emitter = false;
+};
+
+struct Topology {
+  EraParams params;
+  AsGraph graph;
+  /// Prefixes originated by each node (indexed by NodeId).
+  std::vector<std::vector<net::Prefix>> prefixes;
+  /// MOAS: (node, prefix) pairs where `node` additionally originates a
+  /// prefix owned by another AS (anycast / misconfiguration).
+  std::vector<std::pair<NodeId, net::Prefix>> moas_extra;
+  std::vector<VantagePoint> vantage_points;
+  std::vector<std::string> collector_names;
+
+  std::size_t total_prefixes() const {
+    std::size_t n = 0;
+    for (const auto& v : prefixes) n += v.size();
+    return n;
+  }
+};
+
+/// Generates a topology for `params`; deterministic in (`params`, `seed`).
+Topology generate_topology(const EraParams& params, std::uint64_t seed);
+
+}  // namespace bgpatoms::topo

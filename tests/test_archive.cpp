@@ -1,0 +1,171 @@
+// Round-trip and corruption tests for the BGA archive format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bgp/archive.h"
+
+namespace bgpatoms::bgp {
+namespace {
+
+Dataset make_dataset() {
+  Dataset ds;
+  ds.family = net::Family::kIPv4;
+  ds.collectors = {"rrc00", "route-views.2"};
+
+  const PathId p1 = ds.paths.intern(net::AsPath::sequence({64496, 3356, 15169}));
+  const PathId p2 = ds.paths.intern(*net::AsPath::parse("64496 174 [2914 3257]"));
+  const PrefixId a = ds.prefixes.intern(*net::Prefix::parse("8.8.8.0/24"));
+  const PrefixId b = ds.prefixes.intern(*net::Prefix::parse("10.0.0.0/8"));
+  const auto comm =
+      ds.communities.intern({make_community(3356, 100), make_community(1, 2)});
+
+  Snapshot snap;
+  snap.timestamp = 1073894400;  // 2004-01-12
+  PeerFeed feed;
+  feed.peer = {64496, net::IpAddress::v4(0xC6120001u), 0};
+  feed.records.push_back({a, p1, comm, RecordStatus::kValid});
+  feed.records.push_back({b, p2, 0, RecordStatus::kDuplicateAttribute});
+  snap.peers.push_back(feed);
+
+  PeerFeed feed2;
+  feed2.peer = {64497, net::IpAddress::v4(0xC6120002u), 1};
+  feed2.records.push_back({b, p1, 0, RecordStatus::kValid});
+  snap.peers.push_back(feed2);
+  ds.snapshots.push_back(std::move(snap));
+
+  UpdateRecord u;
+  u.timestamp = 1073894460;
+  u.collector = 1;
+  u.peer = 1;
+  u.path = p1;
+  u.communities = comm;
+  u.announced = {a, b};
+  ds.updates.push_back(u);
+  UpdateRecord w;
+  w.timestamp = 1073894470;
+  w.collector = 0;
+  w.peer = 0;
+  w.withdrawn = {a};
+  ds.updates.push_back(w);
+  return ds;
+}
+
+void expect_equal(const Dataset& x, const Dataset& y) {
+  EXPECT_EQ(x.family, y.family);
+  EXPECT_EQ(x.collectors, y.collectors);
+  ASSERT_EQ(x.paths.size(), y.paths.size());
+  for (std::size_t i = 0; i < x.paths.size(); ++i) {
+    EXPECT_EQ(x.paths.get(static_cast<PathId>(i)),
+              y.paths.get(static_cast<PathId>(i)));
+  }
+  ASSERT_EQ(x.prefixes.size(), y.prefixes.size());
+  for (std::size_t i = 0; i < x.prefixes.size(); ++i) {
+    EXPECT_EQ(x.prefixes.get(static_cast<PrefixId>(i)),
+              y.prefixes.get(static_cast<PrefixId>(i)));
+  }
+  ASSERT_EQ(x.snapshots.size(), y.snapshots.size());
+  for (std::size_t s = 0; s < x.snapshots.size(); ++s) {
+    EXPECT_EQ(x.snapshots[s].timestamp, y.snapshots[s].timestamp);
+    ASSERT_EQ(x.snapshots[s].peers.size(), y.snapshots[s].peers.size());
+    for (std::size_t p = 0; p < x.snapshots[s].peers.size(); ++p) {
+      EXPECT_EQ(x.snapshots[s].peers[p].peer, y.snapshots[s].peers[p].peer);
+      EXPECT_EQ(x.snapshots[s].peers[p].records,
+                y.snapshots[s].peers[p].records);
+    }
+  }
+  EXPECT_EQ(x.updates, y.updates);
+}
+
+TEST(Archive, RoundTrip) {
+  const Dataset ds = make_dataset();
+  const auto image = write_archive(ds);
+  const Dataset back = read_archive(image);
+  expect_equal(ds, back);
+}
+
+TEST(Archive, RoundTripEmptyDataset) {
+  Dataset ds;
+  ds.family = net::Family::kIPv6;
+  const Dataset back = read_archive(write_archive(ds));
+  EXPECT_EQ(back.family, net::Family::kIPv6);
+  EXPECT_TRUE(back.snapshots.empty());
+  EXPECT_TRUE(back.updates.empty());
+  EXPECT_EQ(back.paths.size(), 1u);  // just the empty path
+}
+
+TEST(Archive, DetectsBitFlip) {
+  auto image = write_archive(make_dataset());
+  for (std::size_t pos : {std::size_t{5}, image.size() / 2}) {
+    auto corrupted = image;
+    corrupted[pos] ^= 0x40;
+    EXPECT_THROW(read_archive(corrupted), ArchiveError) << "pos " << pos;
+  }
+}
+
+TEST(Archive, DetectsTruncation) {
+  const auto image = write_archive(make_dataset());
+  EXPECT_THROW(read_archive(std::span<const std::uint8_t>(
+                   image.data(), image.size() - 1)),
+               ArchiveError);
+  EXPECT_THROW(read_archive(std::span<const std::uint8_t>(image.data(), 4)),
+               ArchiveError);
+}
+
+TEST(Archive, DetectsBadMagic) {
+  auto image = write_archive(make_dataset());
+  image[0] = 'X';
+  EXPECT_THROW(read_archive(image), ArchiveError);
+}
+
+TEST(Archive, DetectsTrailingBytes) {
+  auto image = write_archive(make_dataset());
+  // Valid CRC over body, then append 4 bytes of a bogus second CRC: strip
+  // the real CRC, add a byte, recompute — reader must reject trailing data.
+  std::vector<std::uint8_t> body(image.begin(), image.end() - 4);
+  body.push_back(0);
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(body.data(), body.size()));
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  EXPECT_THROW(read_archive(body), ArchiveError);
+}
+
+TEST(Archive, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "bga_test.bga";
+  const Dataset ds = make_dataset();
+  write_archive_file(ds, path.string());
+  const Dataset back = read_archive_file(path.string());
+  expect_equal(ds, back);
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, MissingFileThrows) {
+  EXPECT_THROW(read_archive_file("/nonexistent/definitely/not.bga"),
+               ArchiveError);
+}
+
+TEST(Archive, V6AddressesSurvive) {
+  Dataset ds;
+  ds.family = net::Family::kIPv6;
+  ds.collectors = {"rrc00"};
+  const PrefixId p = ds.prefixes.intern(*net::Prefix::parse("2001:db8::/32"));
+  const PathId path = ds.paths.intern(net::AsPath::sequence({1, 2}));
+  Snapshot snap;
+  snap.timestamp = 42;
+  PeerFeed feed;
+  feed.peer = {65001, net::IpAddress::v6(0x20010db8feed0000ULL, 7), 0};
+  feed.records.push_back({p, path, 0, RecordStatus::kValid});
+  snap.peers.push_back(feed);
+  ds.snapshots.push_back(snap);
+
+  const Dataset back = read_archive(write_archive(ds));
+  EXPECT_EQ(back.snapshots[0].peers[0].peer.address,
+            net::IpAddress::v6(0x20010db8feed0000ULL, 7));
+  EXPECT_EQ(back.prefixes.get(0), *net::Prefix::parse("2001:db8::/32"));
+}
+
+}  // namespace
+}  // namespace bgpatoms::bgp

@@ -1,0 +1,56 @@
+// Unit tests for ASN range predicates.
+#include <gtest/gtest.h>
+
+#include "net/asn.h"
+
+namespace bgpatoms::net {
+namespace {
+
+TEST(Asn, Private16Range) {
+  EXPECT_FALSE(is_private_asn16(64511));
+  EXPECT_TRUE(is_private_asn16(64512));
+  EXPECT_TRUE(is_private_asn16(65000));  // the paper's misconfigured injector
+  EXPECT_TRUE(is_private_asn16(65534));
+  EXPECT_FALSE(is_private_asn16(65535));
+}
+
+TEST(Asn, Private32Range) {
+  EXPECT_FALSE(is_private_asn32(4199999999u));
+  EXPECT_TRUE(is_private_asn32(4200000000u));
+  EXPECT_TRUE(is_private_asn32(4294967294u));
+  EXPECT_FALSE(is_private_asn32(4294967295u));
+}
+
+TEST(Asn, DocumentationRanges) {
+  EXPECT_TRUE(is_documentation_asn(64496));
+  EXPECT_TRUE(is_documentation_asn(64511));
+  EXPECT_FALSE(is_documentation_asn(64512));  // private, not documentation
+  EXPECT_TRUE(is_documentation_asn(65536));
+  EXPECT_TRUE(is_documentation_asn(65551));
+  EXPECT_FALSE(is_documentation_asn(65552));
+}
+
+TEST(Asn, ReservedValues) {
+  EXPECT_TRUE(is_reserved_asn(0));
+  EXPECT_TRUE(is_reserved_asn(65535));
+  EXPECT_TRUE(is_reserved_asn(4294967295u));
+  EXPECT_TRUE(is_reserved_asn(kAsTrans));
+  EXPECT_FALSE(is_reserved_asn(3356));
+}
+
+TEST(Asn, BogonCoversAllSpecialClasses) {
+  EXPECT_TRUE(is_bogon_asn(0));
+  EXPECT_TRUE(is_bogon_asn(65000));
+  EXPECT_TRUE(is_bogon_asn(64500));
+  EXPECT_TRUE(is_bogon_asn(23456));
+  EXPECT_TRUE(is_bogon_asn(4200000001u));
+  // Real-world transit and stub ASNs are clean.
+  for (Asn a : {174u, 701u, 3257u, 5511u, 7018u, 396161u}) {
+    EXPECT_FALSE(is_bogon_asn(a)) << a;
+  }
+}
+
+TEST(Asn, ToString) { EXPECT_EQ(asn_to_string(3257), "AS3257"); }
+
+}  // namespace
+}  // namespace bgpatoms::net

@@ -1,0 +1,71 @@
+// Tests for the CLI option parser.
+#include <gtest/gtest.h>
+
+#include "cli/args.h"
+
+namespace bgpatoms::cli {
+namespace {
+
+Args parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const auto args = parse({"--year", "2024.75", "--seed", "7"});
+  EXPECT_DOUBLE_EQ(args.get_double("year", 0), 2024.75);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  const auto args = parse({"--scale=0.05", "--out=x.bga"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0), 0.05);
+  EXPECT_EQ(args.get("out"), "x.bga");
+}
+
+TEST(Args, BooleanFlags) {
+  const auto args = parse({"--v6", "--stability"});
+  EXPECT_TRUE(args.has("v6"));
+  EXPECT_TRUE(args.has("stability"));
+  EXPECT_FALSE(args.has("updates"));
+}
+
+TEST(Args, ShortOptions) {
+  const auto args = parse({"-o", "out.bga"});
+  EXPECT_EQ(args.get("o"), "out.bga");
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = parse({"input.bga", "second", "--text"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.bga");
+  EXPECT_EQ(args.positional()[1], "second");
+  EXPECT_TRUE(args.has("text"));
+}
+
+TEST(Args, FlagGreedilyConsumesFollowingValue) {
+  // Documented limitation of the minimal parser: "--flag value" binds the
+  // value to the flag; put positionals first or use "--flag=".
+  const auto args = parse({"--text", "second"});
+  EXPECT_EQ(args.get("text"), "second");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Args, Defaults) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Args, FlagFollowedByOption) {
+  // "--text --collector rrc00": --text must not swallow "--collector".
+  const auto args = parse({"--text", "--collector", "rrc00"});
+  EXPECT_TRUE(args.has("text"));
+  EXPECT_EQ(args.get("collector"), "rrc00");
+}
+
+}  // namespace
+}  // namespace bgpatoms::cli

@@ -1,0 +1,131 @@
+// Tests for the era model: anchor values and trend directions that the
+// longitudinal reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "topo/era.h"
+
+namespace bgpatoms::topo {
+namespace {
+
+TEST(Era, QuarterYear) {
+  EXPECT_DOUBLE_EQ(quarter_year(2004, 1), 2004.0);
+  EXPECT_DOUBLE_EQ(quarter_year(2004, 4), 2004.75);
+}
+
+TEST(Era, V4ScaledSizesTrackAnchors) {
+  const auto p2004 = era_params_v4(2004.0, 1.0);
+  const auto p2024 = era_params_v4(2024.75, 1.0);
+  EXPECT_NEAR(p2004.n_as, 16490, 200);
+  EXPECT_NEAR(p2024.n_as, 76672, 1500);
+  // Prefix growth factor ~7.8x comes from n_as * prefixes_per_as.
+  const double growth = (p2024.n_as * p2024.prefixes_per_as_mean) /
+                        (p2004.n_as * p2004.prefixes_per_as_mean);
+  EXPECT_GT(growth, 6.0);
+  EXPECT_LT(growth, 10.0);
+}
+
+TEST(Era, ScaleShrinksAbsolutesKeepsRatios) {
+  const auto full = era_params_v4(2024.0, 1.0);
+  const auto tenth = era_params_v4(2024.0, 0.1);
+  EXPECT_NEAR(tenth.n_as, full.n_as / 10, full.n_as / 50);
+  EXPECT_DOUBLE_EQ(tenth.prefixes_per_as_mean, full.prefixes_per_as_mean);
+  EXPECT_DOUBLE_EQ(tenth.single_unit_prob, full.single_unit_prob);
+  // Peers shrink with sqrt(scale) so the visibility filters keep biting.
+  EXPECT_GT(tenth.n_peers, full.n_peers / 10);
+  EXPECT_LT(tenth.n_peers, full.n_peers);
+}
+
+TEST(Era, MinimumsAtTinyScale) {
+  const auto p = era_params_v4(2004.0, 1e-6);
+  EXPECT_GE(p.n_as, 64);
+  EXPECT_GE(p.n_peers, 8);
+  EXPECT_GE(p.n_collectors, 2);
+}
+
+TEST(Era, MonotoneTrends) {
+  double prev_as = 0, prev_transit = 0;
+  double prev_single_unit = 1.0;
+  for (double year = 2002; year <= 2024.75; year += 0.25) {
+    const auto p = era_params_v4(year, 1.0);
+    EXPECT_GE(p.n_as, prev_as) << year;
+    prev_as = p.n_as;
+    // Transit-side policy mechanisms only ever grow (Fig. 4's story).
+    EXPECT_GE(p.w_transit1 + p.w_transit2, prev_transit - 1e-9) << year;
+    prev_transit = p.w_transit1 + p.w_transit2;
+    // Policy granularity rises: single-unit ASes decline.
+    EXPECT_LE(p.single_unit_prob, prev_single_unit + 1e-9) << year;
+    prev_single_unit = p.single_unit_prob;
+  }
+}
+
+TEST(Era, CollectorArtifactsOnlyInLateEra) {
+  EXPECT_EQ(era_params_v4(2004.0, 1.0).n_addpath_broken, 0);
+  EXPECT_GT(era_params_v4(2022.0, 1.0).n_addpath_broken, 0);
+  EXPECT_FALSE(era_params_v4(2004.0, 1.0).private_asn_peer);
+  EXPECT_TRUE(era_params_v4(2021.5, 1.0).private_asn_peer);   // A8.3.2 window
+  EXPECT_FALSE(era_params_v4(2024.0, 1.0).private_asn_peer);  // removed 2023
+}
+
+TEST(Era, StabilityAnchorsMatchTable3) {
+  const auto p2004 = era_params_v4(2004.0, 1.0);
+  EXPECT_NEAR(p2004.churn_8h, 0.037, 0.002);
+  EXPECT_NEAR(p2004.churn_1w, 0.197, 0.005);
+  const auto p2024 = era_params_v4(2024.75, 1.0);
+  EXPECT_NEAR(p2024.churn_8h, 0.163, 0.01);
+  // Churn is cumulative: 8h <= 24h <= 1w always.
+  for (double year = 2002; year <= 2024.75; year += 0.5) {
+    const auto p = era_params_v4(year, 1.0);
+    EXPECT_LE(p.churn_8h, p.churn_24h);
+    EXPECT_LE(p.churn_24h, p.churn_1w);
+  }
+}
+
+TEST(Era, V6Anchors) {
+  const auto p2011 = era_params_v6(2011.0, 1.0);
+  EXPECT_NEAR(p2011.n_as, 2938, 50);
+  EXPECT_NEAR(p2011.prefixes_per_as_mean, 1.42, 0.05);
+  const auto p2024 = era_params_v6(2024.75, 1.0);
+  EXPECT_NEAR(p2024.n_as, 34164, 700);
+  EXPECT_EQ(p2024.family, net::Family::kIPv6);
+}
+
+TEST(Era, FitiBurstStartsIn2021) {
+  EXPECT_EQ(era_params_v6(2020.9, 1.0).fiti_ases, 0);
+  EXPECT_EQ(era_params_v6(2021.0, 1.0).fiti_ases, 4096);
+  EXPECT_EQ(era_params_v6(2024.0, 0.1).fiti_ases, 409);
+}
+
+TEST(Era, V6StabilityExceedsV4) {
+  for (double year : {2012.0, 2018.0, 2024.0}) {
+    EXPECT_LT(era_params_v6(year, 1.0).churn_8h,
+              era_params_v4(year, 1.0).churn_8h)
+        << year;
+  }
+}
+
+TEST(Era, V6CoarserTrafficEngineering) {
+  // §5.4: v6 atoms form closer to the origin — less transit-side policy.
+  for (double year : {2012.0, 2020.0, 2024.0}) {
+    const auto v4 = era_params_v4(year, 1.0);
+    const auto v6 = era_params_v6(year, 1.0);
+    EXPECT_LT(v6.w_transit1 + v6.w_transit2, v4.w_transit1 + v4.w_transit2)
+        << year;
+  }
+}
+
+TEST(Era, WeightsAreSane) {
+  for (double year = 2002; year <= 2024.75; year += 1.0) {
+    const auto p = era_params_v4(year, 1.0);
+    const double sum =
+        p.w_prepend + p.w_scoped + p.w_selective + p.w_transit1 + p.w_transit2;
+    EXPECT_GT(sum, 0.5) << year;
+    EXPECT_LT(sum, 1.5) << year;
+    EXPECT_GE(p.unit_size_one_prob, 0.0);
+    EXPECT_LE(p.unit_size_one_prob, 1.0);
+    EXPECT_GE(p.full_feed_frac, 0.3);
+    EXPECT_LE(p.full_feed_frac, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bgpatoms::topo

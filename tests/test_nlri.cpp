@@ -1,0 +1,127 @@
+// Tests for NLRI packing under the BGP message-size limit.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bgp/nlri.h"
+
+namespace bgpatoms::bgp {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  PathId path;
+  CommunitySetId comms;
+  std::vector<PrefixId> prefixes;
+
+  explicit Fixture(int n_prefixes) {
+    ds.family = net::Family::kIPv4;
+    ds.collectors = {"rrc00"};
+    path = ds.paths.intern(net::AsPath::sequence({64496, 3356, 15169}));
+    comms = ds.communities.intern({make_community(3356, 100)});
+    for (int i = 0; i < n_prefixes; ++i) {
+      prefixes.push_back(ds.prefixes.intern(
+          net::Prefix::v4(0x0A000000u + (static_cast<std::uint32_t>(i) << 8),
+                          24)));
+    }
+  }
+};
+
+TEST(Nlri, PrefixByteEstimate) {
+  EXPECT_EQ(nlri_bytes(*net::Prefix::parse("10.0.0.0/24")), 4u);
+  EXPECT_EQ(nlri_bytes(*net::Prefix::parse("10.0.0.0/8")), 2u);
+  EXPECT_EQ(nlri_bytes(*net::Prefix::parse("0.0.0.0/0")), 1u);
+  EXPECT_EQ(nlri_bytes(*net::Prefix::parse("2001:db8::/48")), 7u);
+}
+
+TEST(Nlri, AttributeBytesGrowWithPathAndCommunities) {
+  const auto p1 = net::AsPath::sequence({1, 2});
+  const auto p2 = net::AsPath::sequence({1, 2, 3, 4});
+  EXPECT_LT(attribute_bytes(p1, {}), attribute_bytes(p2, {}));
+  const std::vector<Community> comms{make_community(1, 2)};
+  EXPECT_LT(attribute_bytes(p1, {}), attribute_bytes(p1, comms));
+}
+
+TEST(Nlri, SmallBatchFitsOneMessage) {
+  Fixture f(5);
+  const auto recs =
+      pack_updates(f.ds, 100, 0, 0, f.path, f.comms, f.prefixes, {});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].announced, f.prefixes);
+  EXPECT_EQ(recs[0].path, f.path);
+  EXPECT_EQ(recs[0].communities, f.comms);
+  EXPECT_EQ(recs[0].timestamp, 100);
+}
+
+TEST(Nlri, LargeBatchSplitsAcrossMessages) {
+  // ~4 bytes per /24 NLRI; 4096-byte messages hold roughly 1000 prefixes.
+  Fixture f(2500);
+  const auto recs =
+      pack_updates(f.ds, 100, 0, 0, f.path, f.comms, f.prefixes, {});
+  EXPECT_GE(recs.size(), 3u);
+  // Order preserved and nothing lost.
+  std::vector<PrefixId> seen;
+  for (const auto& r : recs) {
+    seen.insert(seen.end(), r.announced.begin(), r.announced.end());
+  }
+  EXPECT_EQ(seen, f.prefixes);
+  // Every message respects the byte budget.
+  const PackingLimits limits;
+  for (const auto& r : recs) {
+    std::size_t used = limits.header_bytes + 4 +
+                       attribute_bytes(f.ds.paths.get(f.path),
+                                       f.ds.communities.get(f.comms));
+    for (PrefixId p : r.announced) used += nlri_bytes(f.ds.prefixes.get(p));
+    EXPECT_LE(used, limits.max_message_bytes);
+  }
+}
+
+TEST(Nlri, WithdrawalsCarriedWithoutAttributes) {
+  Fixture f(3);
+  const auto recs = pack_updates(f.ds, 50, 0, 0, net::PathPool::kEmptyPathId,
+                                 0, {}, f.prefixes);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].announced.empty());
+  EXPECT_EQ(recs[0].withdrawn, f.prefixes);
+  EXPECT_EQ(recs[0].path, net::PathPool::kEmptyPathId);
+}
+
+TEST(Nlri, MixedWithdrawAndAnnounce) {
+  Fixture f(10);
+  const std::vector<PrefixId> wd(f.prefixes.begin(), f.prefixes.begin() + 4);
+  const std::vector<PrefixId> ann(f.prefixes.begin() + 4, f.prefixes.end());
+  const auto recs = pack_updates(f.ds, 50, 0, 0, f.path, 0, ann, wd);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].withdrawn, wd);
+  EXPECT_EQ(recs[0].announced, ann);
+}
+
+TEST(Nlri, EmptyInputYieldsNothing) {
+  Fixture f(0);
+  EXPECT_TRUE(pack_updates(f.ds, 0, 0, 0, f.path, 0, {}, {}).empty());
+}
+
+TEST(Nlri, TightBudgetForcesOnePrefixPerMessage) {
+  Fixture f(4);
+  PackingLimits limits;
+  limits.max_message_bytes =
+      limits.header_bytes + 4 +
+      attribute_bytes(f.ds.paths.get(f.path), f.ds.communities.get(f.comms)) +
+      5;  // room for one /24 NLRI only
+  const auto recs =
+      pack_updates(f.ds, 0, 0, 0, f.path, f.comms, f.prefixes, {}, limits);
+  EXPECT_EQ(recs.size(), 4u);
+  for (const auto& r : recs) EXPECT_EQ(r.announced.size(), 1u);
+}
+
+TEST(Nlri, MetadataPropagated) {
+  Fixture f(2);
+  const auto recs = pack_updates(f.ds, 123, 0, 9, f.path, f.comms,
+                                 f.prefixes, {});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].peer, 9u);
+  EXPECT_EQ(recs[0].collector, 0);
+}
+
+}  // namespace
+}  // namespace bgpatoms::bgp

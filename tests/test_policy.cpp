@@ -1,0 +1,157 @@
+// Tests for the policy assigner: units must exactly partition each AS's
+// prefixes and carry era-appropriate mechanisms.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "routing/policy.h"
+
+namespace bgpatoms::routing {
+namespace {
+
+topo::Topology make_topo(double year = 2012.0, double scale = 0.02,
+                         std::uint64_t seed = 3) {
+  return topo::generate_topology(topo::era_params_v4(year, scale), seed);
+}
+
+TEST(Policy, UnitsPartitionEveryAsPrefixSet) {
+  const auto topo = make_topo();
+  const PolicySet ps = assign_policies(topo, 3);
+
+  ASSERT_EQ(ps.units_by_origin.size(), topo.graph.size());
+  for (topo::NodeId v = 0; v < topo.graph.size(); ++v) {
+    std::multiset<GlobalPrefixId> unit_prefixes;
+    for (UnitId u : ps.units_by_origin[v]) {
+      EXPECT_EQ(ps.units[u].origin, v);
+      for (GlobalPrefixId p : ps.units[u].prefixes) unit_prefixes.insert(p);
+    }
+    // Expected: the node's own prefixes, plus any MOAS extras assigned to it.
+    std::multiset<GlobalPrefixId> expected;
+    std::unordered_map<net::Prefix, GlobalPrefixId, net::PrefixHash> ids;
+    for (GlobalPrefixId i = 0; i < ps.all_prefixes.size(); ++i) {
+      ids.emplace(ps.all_prefixes[i], i);
+    }
+    for (const auto& p : topo.prefixes[v]) expected.insert(ids.at(p));
+    for (const auto& [node, prefix] : topo.moas_extra) {
+      if (node == v) expected.insert(ids.at(prefix));
+    }
+    EXPECT_EQ(unit_prefixes, expected) << "node " << v;
+  }
+}
+
+TEST(Policy, UnitIdsAreDense) {
+  const auto topo = make_topo();
+  const PolicySet ps = assign_policies(topo, 3);
+  for (UnitId u = 0; u < ps.units.size(); ++u) {
+    EXPECT_EQ(ps.units[u].id, u);
+  }
+}
+
+TEST(Policy, GlobalPrefixTableMatchesTopology) {
+  const auto topo = make_topo();
+  const PolicySet ps = assign_policies(topo, 3);
+  std::size_t expected = 0;
+  for (const auto& list : topo.prefixes) expected += list.size();
+  EXPECT_EQ(ps.all_prefixes.size(), expected);
+}
+
+TEST(Policy, DeterministicForSeed) {
+  const auto topo = make_topo();
+  const PolicySet a = assign_policies(topo, 77);
+  const PolicySet b = assign_policies(topo, 77);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t i = 0; i < a.units.size(); ++i) {
+    EXPECT_EQ(a.units[i].prefixes, b.units[i].prefixes);
+    EXPECT_TRUE(a.units[i].policy == b.units[i].policy);
+  }
+}
+
+TEST(Policy, MoasUnitsExist) {
+  const auto topo = make_topo(2012.0, 0.05);
+  ASSERT_FALSE(topo.moas_extra.empty());
+  const PolicySet ps = assign_policies(topo, 3);
+  // Each MOAS extra becomes a unit at the second origin.
+  std::size_t moas_units = 0;
+  for (const auto& [node, prefix] : topo.moas_extra) {
+    for (UnitId u : ps.units_by_origin[node]) {
+      const auto& unit = ps.units[u];
+      if (unit.prefixes.size() == 1 &&
+          ps.all_prefixes[unit.prefixes[0]] == prefix) {
+        ++moas_units;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(moas_units, topo.moas_extra.size());
+}
+
+TEST(Policy, NonBulkUnitsCarryMechanisms) {
+  const auto topo = make_topo(2024.0, 0.02);
+  const PolicySet ps = assign_policies(topo, 3);
+  std::size_t multi_unit_ases = 0, distinguished = 0;
+  for (topo::NodeId v = 0; v < topo.graph.size(); ++v) {
+    const auto& list = ps.units_by_origin[v];
+    if (list.size() < 2) continue;
+    ++multi_unit_ases;
+    for (UnitId u : list) {
+      const auto& pol = ps.units[u].policy;
+      if (!(pol == UnitPolicy{})) {
+        ++distinguished;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(multi_unit_ases, 0u);
+  // Nearly every splitting AS distinguishes at least one unit.
+  EXPECT_GT(distinguished, multi_unit_ases * 9 / 10);
+}
+
+TEST(Policy, AnnounceAndPrependIndicesAreValid) {
+  const auto topo = make_topo(2024.0, 0.02);
+  const PolicySet ps = assign_policies(topo, 3);
+  for (const auto& unit : ps.units) {
+    const auto& nbs = topo.graph.node(unit.origin).neighbors;
+    for (std::uint16_t i : unit.policy.announce_to) {
+      EXPECT_LT(i, nbs.size());
+    }
+    for (std::uint16_t i : unit.policy.prepend_to) {
+      EXPECT_LT(i, nbs.size());
+    }
+    for (const auto& rule : unit.policy.transit_rules) {
+      EXPECT_LT(rule.at, topo.graph.size());
+    }
+  }
+}
+
+TEST(Policy, LocalUnitsUseNoExport) {
+  const auto topo = make_topo(2024.0, 0.03);
+  const PolicySet ps = assign_policies(topo, 3);
+  std::size_t local = 0;
+  for (const auto& unit : ps.units) {
+    if (unit.policy.no_export) {
+      ++local;
+      EXPECT_EQ(unit.policy.announce_to.size(), 1u);
+    }
+  }
+  EXPECT_GT(local, 0u) << "era 2024 has local_unit_prob > 0";
+}
+
+TEST(Policy, EraShiftsMechanismMix) {
+  // 2024 eras must produce more transit-side rules than 2004 eras.
+  const auto t2004 = make_topo(2004.0, 0.03);
+  const auto t2024 = make_topo(2024.0, 0.03);
+  auto transit_share = [](const PolicySet& ps) {
+    std::size_t with_rules = 0, total = 0;
+    for (const auto& u : ps.units) {
+      ++total;
+      with_rules += !u.policy.transit_rules.empty();
+    }
+    return static_cast<double>(with_rules) / static_cast<double>(total);
+  };
+  EXPECT_GT(transit_share(assign_policies(t2024, 3)),
+            transit_share(assign_policies(t2004, 3)));
+}
+
+}  // namespace
+}  // namespace bgpatoms::routing

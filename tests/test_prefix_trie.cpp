@@ -1,0 +1,155 @@
+// Unit + property tests for the binary prefix trie.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+
+namespace bgpatoms::net {
+namespace {
+
+TEST(PrefixTrie, InsertAndFind) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.insert(*Prefix::parse("10.0.0.0/8"), 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(*Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 3);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.0.0.0/9")), nullptr);
+}
+
+TEST(PrefixTrie, EmptyTrie) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.find(*Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_FALSE(trie.longest_match(*Prefix::parse("10.0.0.0/8")).has_value());
+}
+
+TEST(PrefixTrie, RootValue) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("0.0.0.0/0"), 42);
+  const auto m = trie.longest_match(*Prefix::parse("203.0.113.0/24"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->second, 42);
+  EXPECT_EQ(m->first.length(), 0);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersDeepest) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("10.1.2.0/24"))->second, 24);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("10.1.2.0/25"))->second, 24);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("10.1.3.0/24"))->second, 16);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("10.2.0.0/16"))->second, 8);
+  EXPECT_FALSE(trie.longest_match(*Prefix::parse("11.0.0.0/8")).has_value());
+}
+
+TEST(PrefixTrie, StrictSupernet) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_TRUE(trie.has_strict_supernet(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(trie.has_strict_supernet(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.has_strict_supernet(*Prefix::parse("11.0.0.0/16")));
+}
+
+TEST(PrefixTrie, ForEachCovered) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 3);
+  trie.insert(*Prefix::parse("11.0.0.0/8"), 4);
+
+  std::vector<int> seen;
+  trie.for_each_covered(*Prefix::parse("10.1.0.0/16"),
+                        [&](const Prefix&, int v) { seen.push_back(v); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int>{2, 3}));
+}
+
+TEST(PrefixTrie, ForEachReconstructsPrefixes) {
+  PrefixTrie<int> trie;
+  const std::vector<const char*> inputs = {"10.0.0.0/8", "10.128.0.0/9",
+                                           "192.0.2.0/24", "0.0.0.0/0"};
+  for (const char* text : inputs) trie.insert(*Prefix::parse(text), 0);
+  std::vector<std::string> seen;
+  trie.for_each([&](const Prefix& p, int) { seen.push_back(p.to_string()); });
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::string> expected(inputs.begin(), inputs.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(PrefixTrie, IPv6Depth) {
+  PrefixTrie<int> trie(Family::kIPv6);
+  trie.insert(*Prefix::parse("2001:db8::/32"), 32);
+  trie.insert(*Prefix::parse("2001:db8:0:1::/64"), 64);
+  trie.insert(*Prefix::parse("2001:db8:0:1::8000:0:0/68"), 68);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("2001:db8:0:1::8000:0:1/128"))
+                ->second,
+            68);
+  EXPECT_EQ(trie.longest_match(*Prefix::parse("2001:db8:0:2::/64"))->second,
+            32);
+}
+
+// Property sweep: trie lookups agree with a brute-force reference.
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<std::uint32_t> trie;
+  std::map<Prefix, std::uint32_t> reference;
+
+  for (int i = 0; i < 300; ++i) {
+    const int len = 4 + static_cast<int>(rng.next_below(25));
+    const Prefix p(IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())),
+                   len);
+    const auto value = static_cast<std::uint32_t>(i);
+    trie.insert(p, value);
+    reference[p] = value;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int q = 0; q < 300; ++q) {
+    const int len = static_cast<int>(rng.next_below(33));
+    const Prefix query(
+        IpAddress::v4(static_cast<std::uint32_t>(rng.next_u64())), len);
+
+    // Exact find.
+    const auto it = reference.find(query);
+    const auto* found = trie.find(query);
+    if (it == reference.end()) {
+      EXPECT_EQ(found, nullptr);
+    } else {
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(*found, it->second);
+    }
+
+    // Longest match vs brute force.
+    std::optional<std::pair<Prefix, std::uint32_t>> best;
+    for (const auto& [p, v] : reference) {
+      if (p.contains(query) &&
+          (!best || p.length() > best->first.length())) {
+        best = {p, v};
+      }
+    }
+    const auto lm = trie.longest_match(query);
+    EXPECT_EQ(lm.has_value(), best.has_value());
+    if (lm && best) {
+      EXPECT_EQ(lm->first, best->first);
+      EXPECT_EQ(lm->second, best->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 1337));
+
+}  // namespace
+}  // namespace bgpatoms::net

@@ -1,0 +1,346 @@
+// Gao-Rexford propagation-engine tests on hand-built graphs.
+//
+// Node/ASN convention below: add_node(asn, ...) and we keep asn == 10*(id+1)
+// so paths are easy to read in failure output.
+#include <gtest/gtest.h>
+
+#include "routing/propagation.h"
+
+namespace bgpatoms::routing {
+namespace {
+
+using topo::AsGraph;
+using topo::NodeId;
+using topo::Rel;
+using topo::Tier;
+
+struct GraphBuilder {
+  AsGraph g;
+  NodeId add(net::Asn asn, Tier tier = Tier::kEdge, std::uint16_t region = 0) {
+    return g.add_node(asn, tier, region, asn);
+  }
+  // b provides transit to a.
+  void provider(NodeId a, NodeId b) { g.add_edge(a, b, Rel::kProvider); }
+  void peer(NodeId a, NodeId b) { g.add_edge(a, b, Rel::kPeer); }
+  void sibling(NodeId a, NodeId b) { g.add_edge(a, b, Rel::kSibling); }
+};
+
+std::vector<net::Asn> path_at(const Propagator& prop, const RouteTable& t,
+                              NodeId node) {
+  return prop.extract_path(t, node).flat();
+}
+
+TEST(Propagation, LinearChainCustomerRoutes) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), p = b.add(20), t = b.add(30, Tier::kTier1);
+  b.provider(o, p);
+  b.provider(p, t);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+
+  EXPECT_EQ(table.cls[o], RouteClass::kSelf);
+  EXPECT_EQ(table.cls[p], RouteClass::kCustomer);
+  EXPECT_EQ(table.cls[t], RouteClass::kCustomer);
+  EXPECT_EQ(path_at(prop, table, p), (std::vector<net::Asn>{10}));
+  EXPECT_EQ(path_at(prop, table, t), (std::vector<net::Asn>{20, 10}));
+  EXPECT_TRUE(prop.extract_path(table, o).empty());
+}
+
+TEST(Propagation, ProviderRoutesDescend) {
+  //   t
+  //  / \                    o announces; v learns a provider route via t.
+  // o   v
+  GraphBuilder b;
+  const NodeId o = b.add(10), t = b.add(20, Tier::kTransit), v = b.add(30);
+  b.provider(o, t);
+  b.provider(v, t);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(table.cls[v], RouteClass::kProvider);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{20, 10}));
+}
+
+TEST(Propagation, PeerRoutesSingleHopValleyFree) {
+  // o - p1 (provider), p1 == p2 peers, p2 == p3 peers.
+  // p2 hears o via the peer edge; p3 must NOT (no peer-peer re-export).
+  GraphBuilder b;
+  const NodeId o = b.add(10), p1 = b.add(20, Tier::kTransit),
+               p2 = b.add(30, Tier::kTransit), p3 = b.add(40, Tier::kTransit);
+  b.provider(o, p1);
+  b.peer(p1, p2);
+  b.peer(p2, p3);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(table.cls[p2], RouteClass::kPeer);
+  EXPECT_EQ(path_at(prop, table, p2), (std::vector<net::Asn>{20, 10}));
+  EXPECT_FALSE(table.reachable(p3)) << "peer route leaked across two peers";
+}
+
+TEST(Propagation, PeerRouteExportsToCustomers) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), p1 = b.add(20, Tier::kTransit),
+               p2 = b.add(30, Tier::kTransit), c = b.add(40);
+  b.provider(o, p1);
+  b.peer(p1, p2);
+  b.provider(c, p2);  // c is p2's customer
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(table.cls[c], RouteClass::kProvider);
+  EXPECT_EQ(path_at(prop, table, c), (std::vector<net::Asn>{30, 20, 10}));
+}
+
+TEST(Propagation, CustomerRoutePreferredOverShorterPeerRoute) {
+  // v can reach o via a customer chain (longer) or directly via a peer
+  // edge (shorter). Gao-Rexford prefers the customer route.
+  GraphBuilder b;
+  const NodeId o = b.add(10), m = b.add(20), v = b.add(30, Tier::kTransit);
+  b.provider(o, m);
+  b.provider(m, v);  // v learns o from customer m: path (20, 10)
+  b.peer(v, o);      // and from peer o directly: path (10)
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(table.cls[v], RouteClass::kCustomer);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{20, 10}));
+}
+
+TEST(Propagation, ShortestPathWithinClass) {
+  // Two customer routes: via m1+m2 (3 hops) or via m3 (2 hops).
+  GraphBuilder b;
+  const NodeId o = b.add(10), m1 = b.add(20), m2 = b.add(30), m3 = b.add(40),
+               v = b.add(50, Tier::kTier1);
+  b.provider(o, m1);
+  b.provider(m1, m2);
+  b.provider(m2, v);
+  b.provider(o, m3);
+  b.provider(m3, v);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{40, 10}));
+}
+
+TEST(Propagation, TieBreakByLowerNeighborAsn) {
+  // Equal-length customer routes via 20 and via 30: lower ASN wins.
+  GraphBuilder b;
+  const NodeId o = b.add(10), m1 = b.add(20), m2 = b.add(30), v = b.add(40);
+  b.provider(o, m1);
+  b.provider(o, m2);
+  b.provider(m1, v);
+  b.provider(m2, v);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{20, 10}));
+}
+
+TEST(Propagation, OriginPrependingLengthensAndChangesSelection) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), m1 = b.add(20), m2 = b.add(30), v = b.add(40);
+  b.provider(o, m1);  // neighbor index 0 of o
+  b.provider(o, m2);  // neighbor index 1 of o
+  b.provider(m1, v);
+  b.provider(m2, v);
+
+  // Prepend 2x toward m1: v should now prefer the m2 route.
+  UnitPolicy pol;
+  pol.prepend_to = {0};
+  pol.prepend_count = 2;
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{30, 10}));
+  // And the prepended copies are visible on the m1 branch itself.
+  EXPECT_EQ(path_at(prop, table, m1), (std::vector<net::Asn>{10, 10, 10}));
+  EXPECT_EQ(table.dist[m1], 3u);
+}
+
+TEST(Propagation, SelectiveAnnounceBlocksProvider) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), m1 = b.add(20), m2 = b.add(30), v = b.add(40);
+  b.provider(o, m1);  // index 0
+  b.provider(o, m2);  // index 1
+  b.provider(m1, v);
+  b.provider(m2, v);
+
+  UnitPolicy pol;
+  pol.announce_to = {1};  // only m2 hears the unit directly
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{30, 10}));
+  // m1 no longer hears o directly, but it still buys transit from v, so it
+  // learns the route back down as a provider route — exactly why selective
+  // announcement splits atoms at distance TWO, not by visibility.
+  EXPECT_EQ(table.cls[m1], RouteClass::kProvider);
+  EXPECT_EQ(path_at(prop, table, m1), (std::vector<net::Asn>{40, 30, 10}));
+}
+
+TEST(Propagation, NoExportStopsAtFirstAs) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), p = b.add(20), t = b.add(30, Tier::kTier1);
+  b.provider(o, p);
+  b.provider(p, t);
+
+  UnitPolicy pol;
+  pol.no_export = true;
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  EXPECT_TRUE(table.reachable(p));
+  EXPECT_FALSE(table.reachable(t));
+}
+
+TEST(Propagation, TransitBlockNeighborForcesAlternate) {
+  //       v
+  //      / \                o->P; P exports to x and y; rule blocks P->x.
+  //     x   y
+  //      \ /
+  //       P
+  //       |
+  //       o
+  GraphBuilder b;
+  const NodeId o = b.add(10), p = b.add(20, Tier::kTransit), x = b.add(30),
+               y = b.add(40), v = b.add(50, Tier::kTier1);
+  b.provider(o, p);
+  b.provider(p, x);
+  b.provider(p, y);
+  b.provider(x, v);
+  b.provider(y, v);
+
+  Propagator prop(b.g);
+  RouteTable base;
+  prop.compute(o, nullptr, base);
+  EXPECT_EQ(path_at(prop, base, v), (std::vector<net::Asn>{30, 20, 10}));
+
+  UnitPolicy pol;
+  TransitRule rule;
+  rule.kind = TransitRule::Kind::kBlockNeighbor;
+  rule.at = p;
+  rule.neighbor = x;
+  pol.transit_rules.push_back(rule);
+
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  EXPECT_EQ(path_at(prop, table, v), (std::vector<net::Asn>{40, 20, 10}))
+      << "v must re-route around the blocked branch (split at distance 3)";
+  // x itself recovers the route from its provider v (provider route).
+  EXPECT_EQ(table.cls[x], RouteClass::kProvider);
+  EXPECT_EQ(path_at(prop, table, x),
+            (std::vector<net::Asn>{50, 40, 20, 10}));
+}
+
+TEST(Propagation, TransitRegionBlockAndPrepend) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), p = b.add(20, Tier::kTransit);
+  const NodeId r1 = b.g.add_node(30, Tier::kEdge, /*region=*/1, 30);
+  const NodeId r2 = b.g.add_node(40, Tier::kEdge, /*region=*/2, 40);
+  b.provider(o, p);
+  b.provider(r1, p);
+  b.provider(r2, p);
+
+  UnitPolicy block;
+  block.transit_rules.push_back(
+      {TransitRule::Kind::kBlockRegionExport, p, topo::kNoNode, 1, 0});
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &block, table);
+  EXPECT_FALSE(table.reachable(r1)) << "region 1 blocked";
+  EXPECT_TRUE(table.reachable(r2));
+
+  UnitPolicy prepend;
+  prepend.transit_rules.push_back(
+      {TransitRule::Kind::kPrependRegionExport, p, topo::kNoNode, 2, 2});
+  prop.compute(o, &prepend, table);
+  EXPECT_EQ(path_at(prop, table, r1), (std::vector<net::Asn>{20, 10}));
+  EXPECT_EQ(path_at(prop, table, r2), (std::vector<net::Asn>{20, 20, 20, 10}));
+}
+
+TEST(Propagation, SiblingsAreTransparent) {
+  // Sibling chain: o -S- s1 -S- s2(head) -> provider t; a VP behind t must
+  // see the whole chain in the path (the DoD pattern).
+  GraphBuilder b;
+  const NodeId o = b.add(10), s1 = b.add(20), s2 = b.add(30),
+               t = b.add(40, Tier::kTransit), v = b.add(50, Tier::kTier1);
+  b.sibling(o, s1);
+  b.sibling(s1, s2);
+  b.provider(s2, t);
+  b.provider(t, v);
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_EQ(path_at(prop, table, v),
+            (std::vector<net::Asn>{40, 30, 20, 10}));
+}
+
+TEST(Propagation, UnreachableWithoutEdges) {
+  GraphBuilder b;
+  const NodeId o = b.add(10);
+  const NodeId island = b.add(20);
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, nullptr, table);
+  EXPECT_FALSE(table.reachable(island));
+  EXPECT_TRUE(prop.extract_path(table, island).empty());
+}
+
+TEST(Propagation, PeerOnlyAnnouncementVisibilityScope) {
+  // Content AS announces only to its peer: the peer and the peer's
+  // customers see it; the content AS's provider does not.
+  GraphBuilder b;
+  const NodeId o = b.add(10, Tier::kContent), prov = b.add(20, Tier::kTransit),
+               pr = b.add(30, Tier::kTransit), cust = b.add(40);
+  b.provider(o, prov);  // index 0
+  b.peer(o, pr);        // index 1
+  b.provider(cust, pr);
+
+  UnitPolicy pol;
+  pol.announce_to = {1};
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  EXPECT_FALSE(table.reachable(prov));
+  EXPECT_TRUE(table.reachable(pr));
+  EXPECT_TRUE(table.reachable(cust));
+  EXPECT_EQ(path_at(prop, table, cust), (std::vector<net::Asn>{30, 10}));
+}
+
+TEST(Propagation, DistMatchesExtractedPathLength) {
+  GraphBuilder b;
+  const NodeId o = b.add(10), p = b.add(20), t = b.add(30, Tier::kTier1),
+               v = b.add(40);
+  b.provider(o, p);
+  b.provider(p, t);
+  b.provider(v, t);
+
+  UnitPolicy pol;
+  pol.prepend_to = {0};
+  pol.prepend_count = 1;
+
+  Propagator prop(b.g);
+  RouteTable table;
+  prop.compute(o, &pol, table);
+  for (NodeId n : {p, t, v}) {
+    EXPECT_EQ(table.dist[n], prop.extract_path(table, n).flat().size()) << n;
+  }
+}
+
+}  // namespace
+}  // namespace bgpatoms::routing

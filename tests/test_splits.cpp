@@ -1,0 +1,153 @@
+// Tests for atom-split detection and observer counting (§4.4.1).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/splits.h"
+#include "testutil.h"
+
+namespace bgpatoms::core {
+namespace {
+
+using test::DatasetBuilder;
+
+struct Triple {
+  bgp::Dataset ds;
+  std::deque<SanitizedSnapshot> snaps;
+  std::deque<AtomSet> atoms;
+};
+
+template <typename F0, typename F1, typename F2>
+Triple make_triple(F0&& f0, F1&& f1, F2&& f2) {
+  DatasetBuilder b;
+  f0(b);
+  b.snapshot(1000);
+  f1(b);
+  b.snapshot(2000);
+  f2(b);
+  Triple t{std::move(b.dataset()), {}, {}};
+  for (int i = 0; i < 3; ++i) {
+    t.snaps.push_back(sanitize(t.ds, i, test::lax_config()));
+    t.atoms.push_back(compute_atoms(t.snaps.back()));
+  }
+  return t;
+}
+
+// Stable 2-peer snapshot content: one 2-prefix atom.
+void stable(DatasetBuilder& b) {
+  b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 1");
+  b.peer(200).route("10.0.0.0/16", "200 1").route("10.1.0.0/16", "200 1");
+}
+
+TEST(Splits, NoChangeNoSplit) {
+  const auto t = make_triple(stable, stable, stable);
+  EXPECT_TRUE(detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]).empty());
+}
+
+TEST(Splits, SplitDetectedWithSingleObserver) {
+  const auto t = make_triple(stable, stable, [](DatasetBuilder& b) {
+    // Peer 100 now sees the two prefixes on different paths; peer 200
+    // still sees them together.
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 9 1");
+    b.peer(200).route("10.0.0.0/16", "200 1").route("10.1.0.0/16", "200 1");
+  });
+  const auto events = detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].atom_size, 2u);
+  ASSERT_EQ(events[0].observers.size(), 1u);
+  EXPECT_EQ(events[0].observers[0].asn, 100u);
+}
+
+TEST(Splits, SplitSeenByAllObservers) {
+  const auto t = make_triple(stable, stable, [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 9 1");
+    b.peer(200).route("10.0.0.0/16", "200 1").route("10.1.0.0/16", "200 9 1");
+  });
+  const auto events = detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].observers.size(), 2u);
+}
+
+TEST(Splits, AtomMustExistAtBothPriorSnapshots) {
+  // The atom only forms at t+1 -> not eligible for split detection.
+  const auto t = make_triple(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 9 1");
+      },
+      stable,
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 9 1");
+      });
+  EXPECT_TRUE(detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]).empty());
+}
+
+TEST(Splits, MergesAreIgnored) {
+  // Two atoms at t/t+1 merge at t+2: per the paper, not counted.
+  auto two_atoms = [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 9 1");
+  };
+  const auto t = make_triple(two_atoms, two_atoms, [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 1");
+  });
+  EXPECT_TRUE(detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]).empty());
+}
+
+TEST(Splits, DisappearedPrefixCountsAsSplit) {
+  const auto t = make_triple(stable, stable, [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1");
+    b.peer(200).route("10.0.0.0/16", "200 1");
+  });
+  const auto events = detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]);
+  ASSERT_EQ(events.size(), 1u);
+  // Both peers now see divergent state (one prefix gone).
+  EXPECT_EQ(events[0].observers.size(), 2u);
+}
+
+TEST(Splits, FullWithdrawalIsNotObserved) {
+  // A VP that loses BOTH prefixes saw a withdrawal, not a regrouping.
+  const auto t = make_triple(stable, stable, [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 9 1");
+    b.peer(200).route("10.9.0.0/16", "200 7");  // unrelated table
+  });
+  const auto events = detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].observers.size(), 1u);
+  EXPECT_EQ(events[0].observers[0].asn, 100u);
+}
+
+TEST(Splits, SinglePrefixAtomsCannotSplit) {
+  auto singles = [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 9 1");
+  };
+  const auto t = make_triple(singles, singles, [](DatasetBuilder& b) {
+    b.peer(100).route("10.0.0.0/16", "100 8 1").route("10.1.0.0/16", "100 1");
+  });
+  // Path swaps on single-prefix atoms are not splits.
+  EXPECT_TRUE(detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]).empty());
+}
+
+TEST(Splits, MultipleEventsReported) {
+  auto two_pairs = [](DatasetBuilder& b) {
+    b.peer(100)
+        .route("10.0.0.0/16", "100 1")
+        .route("10.1.0.0/16", "100 1")
+        .route("10.2.0.0/16", "100 9 2")
+        .route("10.3.0.0/16", "100 9 2");
+  };
+  const auto t =
+      make_triple(two_pairs, two_pairs, [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 8 1")
+            .route("10.2.0.0/16", "100 9 2")
+            .route("10.3.0.0/16", "100 7 9 2");
+      });
+  EXPECT_EQ(detect_splits(t.atoms[0], t.atoms[1], t.atoms[2]).size(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpatoms::core

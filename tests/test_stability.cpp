@@ -1,0 +1,196 @@
+// Tests for CAM / MPM stability metrics (§3.5).
+#include <gtest/gtest.h>
+
+#include "core/stability.h"
+#include "testutil.h"
+
+namespace bgpatoms::core {
+namespace {
+
+using test::DatasetBuilder;
+
+struct Pair {
+  bgp::Dataset ds;
+  SanitizedSnapshot s1, s2;
+  AtomSet a1, a2;
+};
+
+/// Builds both snapshots through the builder callbacks, then computes atoms.
+template <typename F1, typename F2>
+Pair make_pair(F1&& fill_t1, F2&& fill_t2) {
+  DatasetBuilder b;
+  fill_t1(b);
+  b.snapshot(1000);
+  fill_t2(b);
+  Pair p{std::move(b.dataset()), {}, {}, {}, {}};
+  p.s1 = sanitize(p.ds, 0, test::lax_config());
+  p.s2 = sanitize(p.ds, 1, test::lax_config());
+  p.a1 = compute_atoms(p.s1);
+  p.a2 = compute_atoms(p.s2);
+  return p;
+}
+
+TEST(Stability, IdenticalSnapshotsArePerfectlyStable) {
+  auto fill = [](DatasetBuilder& b) {
+    b.peer(100)
+        .route("10.0.0.0/16", "100 1")
+        .route("10.1.0.0/16", "100 1")
+        .route("10.2.0.0/16", "100 2");
+  };
+  const auto p = make_pair(fill, fill);
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 1.0);
+  EXPECT_DOUBLE_EQ(r.mpm, 1.0);
+  EXPECT_EQ(r.atoms_t1, 2u);
+  EXPECT_EQ(r.atoms_matched_exactly, 2u);
+}
+
+TEST(Stability, PathChangeWithoutRegroupingIsStable) {
+  // Atoms are prefix groupings; a wholesale AS-path change that keeps the
+  // grouping intact must not count as instability (§4.4.1 note).
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 5 1")
+            .route("10.1.0.0/16", "100 5 1");
+      },
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 6 1")
+            .route("10.1.0.0/16", "100 6 1");
+      });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 1.0);
+  EXPECT_DOUBLE_EQ(r.mpm, 1.0);
+}
+
+TEST(Stability, SplitDropsCamMoreThanMpm) {
+  // One 3-prefix atom splits 2+1: CAM loses the whole atom, MPM keeps 2/3.
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 1");
+      },
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 9 1");
+      });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 0.0);
+  EXPECT_NEAR(r.mpm, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Stability, MergeBreaksBothAtoms) {
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 9 1");
+      },
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1");
+      });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 0.0);
+  // MPM: the merged atom can be claimed by only one of the two t1 atoms.
+  EXPECT_NEAR(r.mpm, 0.5, 1e-9);
+}
+
+TEST(Stability, GreedyMappingIsOneToOne) {
+  // Two t1 atoms overlap the same t2 atom; only one may claim it.
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 9 1");
+      },
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 1");
+      });
+  const auto r = stability(p.a1, p.a2);
+  // t1: {A,B} and {C}; t2: {A,B,C}. Larger atom claims overlap 2; the
+  // single-prefix atom finds nothing left.
+  EXPECT_EQ(r.prefixes_matched, 2u);
+  EXPECT_NEAR(r.mpm, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Stability, LargestAtomsClaimFirst) {
+  // Greedy order is by t1 atom size (descending): the 3-prefix atom gets
+  // its best match even if a smaller atom shares it.
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 1")
+            .route("10.3.0.0/16", "100 9 1");
+      },
+      [](DatasetBuilder& b) {
+        // All four merge into one atom at t2.
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1")
+            .route("10.2.0.0/16", "100 1")
+            .route("10.3.0.0/16", "100 1");
+      });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_EQ(r.prefixes_matched, 3u);  // the big atom wins the merged atom
+  EXPECT_NEAR(r.mpm, 3.0 / 4.0, 1e-9);
+}
+
+TEST(Stability, DisappearedPrefixesReduceMpm) {
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1");
+      },
+      [](DatasetBuilder& b) { b.peer(100).route("10.0.0.0/16", "100 1"); });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 0.0);
+  EXPECT_NEAR(r.mpm, 0.5, 1e-9);
+}
+
+TEST(Stability, EmptyFirstSnapshot) {
+  const auto p = make_pair(
+      [](DatasetBuilder& b) { b.peer(100); },
+      [](DatasetBuilder& b) { b.peer(100).route("10.0.0.0/16", "100 1"); });
+  const auto r = stability(p.a1, p.a2);
+  EXPECT_DOUBLE_EQ(r.cam, 0.0);
+  EXPECT_DOUBLE_EQ(r.mpm, 0.0);
+  EXPECT_EQ(r.atoms_t1, 0u);
+}
+
+TEST(Stability, MetricsAreDirectional) {
+  // CAM(t1,t2) != CAM(t2,t1) in general (denominator is |A_t1|).
+  const auto p = make_pair(
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 1");
+      },
+      [](DatasetBuilder& b) {
+        b.peer(100)
+            .route("10.0.0.0/16", "100 1")
+            .route("10.1.0.0/16", "100 9 1")
+            .route("10.2.0.0/16", "100 8 1");
+      });
+  const auto fwd = stability(p.a1, p.a2);
+  const auto rev = stability(p.a2, p.a1);
+  EXPECT_DOUBLE_EQ(fwd.cam, 0.0);  // the 2-prefix atom is gone
+  EXPECT_NEAR(rev.cam, 0.0, 1e-9);
+  EXPECT_NE(fwd.atoms_t1, rev.atoms_t1);
+}
+
+}  // namespace
+}  // namespace bgpatoms::core

@@ -1,0 +1,180 @@
+// Tests for the BGPStream-like record reader.
+#include <gtest/gtest.h>
+
+#include "routing/simulator.h"
+#include "stream/reader.h"
+
+namespace bgpatoms::stream {
+namespace {
+
+struct Fixture {
+  bgp::Dataset ds;
+
+  Fixture() {
+    ds.family = net::Family::kIPv4;
+    ds.collectors = {"rrc00", "route-views.2"};
+    const auto path = ds.paths.intern(net::AsPath::sequence({64496, 15169}));
+    const auto a = ds.prefixes.intern(*net::Prefix::parse("8.8.8.0/24"));
+    const auto b = ds.prefixes.intern(*net::Prefix::parse("8.8.4.0/24"));
+    const auto c = ds.prefixes.intern(*net::Prefix::parse("10.0.0.0/8"));
+
+    bgp::Snapshot snap;
+    snap.timestamp = 1000;
+    bgp::PeerFeed f1;
+    f1.peer = {64496, net::IpAddress::v4(1), 0};
+    f1.records = {{a, path, 0, bgp::RecordStatus::kValid},
+                  {c, path, 0, bgp::RecordStatus::kValid}};
+    snap.peers.push_back(f1);
+    bgp::PeerFeed f2;
+    f2.peer = {64497, net::IpAddress::v4(2), 1};
+    f2.records = {{b, path, 0, bgp::RecordStatus::kValid}};
+    snap.peers.push_back(f2);
+    ds.snapshots.push_back(std::move(snap));
+
+    bgp::UpdateRecord u1;
+    u1.timestamp = 1100;
+    u1.collector = 0;
+    u1.peer = 0;
+    u1.path = path;
+    u1.announced = {a, b};
+    ds.updates.push_back(u1);
+    bgp::UpdateRecord u2;
+    u2.timestamp = 1200;
+    u2.collector = 1;
+    u2.peer = 1;
+    u2.withdrawn = {c};
+    ds.updates.push_back(u2);
+  }
+};
+
+std::vector<Record> drain(RecordReader& reader) {
+  std::vector<Record> out;
+  while (auto rec = reader.next()) out.push_back(*rec);
+  return out;
+}
+
+TEST(RecordReader, YieldsRibThenUpdates) {
+  Fixture f;
+  RecordReader reader(f.ds);
+  const auto recs = drain(reader);
+  ASSERT_EQ(recs.size(), 6u);  // 3 RIB rows + 2 announced + 1 withdrawn
+  EXPECT_EQ(recs[0].type, RecordType::kRibEntry);
+  EXPECT_EQ(recs[3].type, RecordType::kAnnouncement);
+  EXPECT_EQ(recs[5].type, RecordType::kWithdrawal);
+  EXPECT_EQ(reader.count(), 6u);
+}
+
+TEST(RecordReader, RibRecordContent) {
+  Fixture f;
+  RecordReader reader(f.ds);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->collector, "rrc00");
+  EXPECT_EQ(rec->peer_asn, 64496u);
+  EXPECT_EQ(rec->prefix, *net::Prefix::parse("8.8.8.0/24"));
+  ASSERT_NE(rec->path, nullptr);
+  EXPECT_EQ(rec->path->to_string(), "64496 15169");
+  EXPECT_EQ(rec->timestamp, 1000);
+}
+
+TEST(RecordReader, WithdrawalHasNoPath) {
+  Fixture f;
+  Filters filters;
+  filters.include_rib = false;
+  RecordReader reader(f.ds, filters);
+  const auto recs = drain(reader);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[2].type, RecordType::kWithdrawal);
+  EXPECT_EQ(recs[2].path, nullptr);
+}
+
+TEST(RecordReader, CollectorFilter) {
+  Fixture f;
+  Filters filters;
+  filters.collector = "rrc00";
+  RecordReader reader(f.ds, filters);
+  for (const auto& rec : drain(reader)) {
+    EXPECT_EQ(rec.collector, "rrc00");
+  }
+}
+
+TEST(RecordReader, PeerFilter) {
+  Fixture f;
+  Filters filters;
+  filters.peer_asn = 64497;
+  RecordReader reader(f.ds, filters);
+  const auto recs = drain(reader);
+  ASSERT_EQ(recs.size(), 2u);  // 1 RIB row + update u2
+  for (const auto& rec : recs) EXPECT_EQ(rec.peer_asn, 64497u);
+}
+
+TEST(RecordReader, PrefixWithinFilter) {
+  Fixture f;
+  Filters filters;
+  filters.prefix_within = *net::Prefix::parse("8.8.0.0/16");
+  RecordReader reader(f.ds, filters);
+  const auto recs = drain(reader);
+  ASSERT_EQ(recs.size(), 4u);  // two RIB rows + two announcements
+  for (const auto& rec : recs) {
+    EXPECT_TRUE(filters.prefix_within->contains(rec.prefix));
+  }
+}
+
+TEST(RecordReader, TimeWindowFilter) {
+  Fixture f;
+  Filters filters;
+  filters.time_begin = 1150;
+  RecordReader reader(f.ds, filters);
+  const auto recs = drain(reader);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].timestamp, 1200);
+}
+
+TEST(RecordReader, UpdatesOnlyToggle) {
+  Fixture f;
+  Filters filters;
+  filters.include_updates = false;
+  RecordReader reader(f.ds, filters);
+  for (const auto& rec : drain(reader)) {
+    EXPECT_EQ(rec.type, RecordType::kRibEntry);
+  }
+}
+
+TEST(RecordReader, EmptyDataset) {
+  bgp::Dataset ds;
+  RecordReader reader(ds);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(RecordReader, WorksOverSimulatedDataset) {
+  routing::Simulator sim(
+      topo::generate_topology(topo::era_params_v4(2008.0, 0.01), 4));
+  sim.capture();
+  sim.emit_updates(routing::kHour);
+  RecordReader reader(sim.dataset());
+  std::size_t rib = 0, ann = 0, wd = 0;
+  while (auto rec = reader.next()) {
+    switch (rec->type) {
+      case RecordType::kRibEntry:
+        ++rib;
+        break;
+      case RecordType::kAnnouncement:
+        ++ann;
+        break;
+      case RecordType::kWithdrawal:
+        ++wd;
+        break;
+    }
+  }
+  EXPECT_EQ(rib, bgp::Dataset::record_count(sim.dataset().snapshots[0]));
+  std::size_t expected_ann = 0, expected_wd = 0;
+  for (const auto& u : sim.dataset().updates) {
+    expected_ann += u.announced.size();
+    expected_wd += u.withdrawn.size();
+  }
+  EXPECT_EQ(ann, expected_ann);
+  EXPECT_EQ(wd, expected_wd);
+}
+
+}  // namespace
+}  // namespace bgpatoms::stream

@@ -1,0 +1,58 @@
+// Tests for the bgpdump-style text renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/textdump.h"
+
+namespace bgpatoms::bgp {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  ds.collectors = {"rrc00"};
+  const PathId p = ds.paths.intern(net::AsPath::sequence({64496, 15169}));
+  const PrefixId a = ds.prefixes.intern(*net::Prefix::parse("8.8.8.0/24"));
+  Snapshot snap;
+  snap.timestamp = 1000;
+  PeerFeed feed;
+  feed.peer = {64496, net::IpAddress::v4(0xC6120001u), 0};
+  feed.records.push_back({a, p, 0, RecordStatus::kValid});
+  feed.records.push_back({a, p, 0, RecordStatus::kCorruptSubtype});
+  snap.peers.push_back(feed);
+  ds.snapshots.push_back(snap);
+
+  UpdateRecord u;
+  u.timestamp = 1060;
+  u.peer = 0;
+  u.path = p;
+  u.announced = {a};
+  u.withdrawn = {a};
+  ds.updates.push_back(u);
+  return ds;
+}
+
+TEST(TextDump, SnapshotLines) {
+  const Dataset ds = tiny_dataset();
+  std::ostringstream os;
+  dump_snapshot(os, ds, ds.snapshots[0]);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("TABLE_DUMP2|1000|B|rrc00|198.18.0.1|64496|8.8.8.0/24|"
+                     "64496 15169|IGP"),
+            std::string::npos);
+  // Parse warnings are surfaced the way BGPStream surfaces them.
+  EXPECT_NE(out.find("W:unknown-subtype-9"), std::string::npos);
+}
+
+TEST(TextDump, UpdateLines) {
+  const Dataset ds = tiny_dataset();
+  std::ostringstream os;
+  dump_updates(os, ds);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("BGP4MP|1060|W|rrc00|0|8.8.8.0/24"), std::string::npos);
+  EXPECT_NE(out.find("BGP4MP|1060|A|rrc00|0|8.8.8.0/24|64496 15169|IGP"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpatoms::bgp

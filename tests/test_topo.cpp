@@ -1,0 +1,237 @@
+// Tests for the AS graph container and the topology generator's structural
+// invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "topo/topology.h"
+
+namespace bgpatoms::topo {
+namespace {
+
+TEST(AsGraph, AddNodeAndFind) {
+  AsGraph g;
+  const NodeId a = g.add_node(100, Tier::kTier1, 0, 1);
+  EXPECT_EQ(g.find(100), a);
+  EXPECT_EQ(g.find(999), kNoNode);
+  EXPECT_THROW(g.add_node(100, Tier::kEdge, 0, 2), std::invalid_argument);
+}
+
+TEST(AsGraph, EdgeIsSymmetricWithReversedRole) {
+  AsGraph g;
+  const NodeId cust = g.add_node(1, Tier::kEdge, 0, 1);
+  const NodeId prov = g.add_node(2, Tier::kTransit, 0, 2);
+  g.add_edge(cust, prov, Rel::kProvider);  // 2 provides transit to 1
+  ASSERT_EQ(g.node(cust).neighbors.size(), 1u);
+  ASSERT_EQ(g.node(prov).neighbors.size(), 1u);
+  EXPECT_EQ(g.node(cust).neighbors[0].rel, Rel::kProvider);
+  EXPECT_EQ(g.node(prov).neighbors[0].rel, Rel::kCustomer);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AsGraph, DuplicateEdgeIgnored) {
+  AsGraph g;
+  const NodeId a = g.add_node(1, Tier::kEdge, 0, 1);
+  const NodeId b = g.add_node(2, Tier::kEdge, 0, 2);
+  g.add_edge(a, b, Rel::kPeer);
+  g.add_edge(a, b, Rel::kProvider);  // already connected: no-op
+  g.add_edge(b, a, Rel::kPeer);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.node(a).neighbors[0].rel, Rel::kPeer);
+}
+
+TEST(AsGraph, SelfEdgeThrows) {
+  AsGraph g;
+  const NodeId a = g.add_node(1, Tier::kEdge, 0, 1);
+  EXPECT_THROW(g.add_edge(a, a, Rel::kPeer), std::invalid_argument);
+}
+
+TEST(AsGraph, ReverseHelper) {
+  EXPECT_EQ(reverse(Rel::kProvider), Rel::kCustomer);
+  EXPECT_EQ(reverse(Rel::kCustomer), Rel::kProvider);
+  EXPECT_EQ(reverse(Rel::kPeer), Rel::kPeer);
+  EXPECT_EQ(reverse(Rel::kSibling), Rel::kSibling);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static Topology make(double year = 2010.0, double scale = 0.02,
+                       std::uint64_t seed = 1,
+                       net::Family family = net::Family::kIPv4) {
+    const EraParams era = family == net::Family::kIPv4
+                              ? era_params_v4(year, scale)
+                              : era_params_v6(year, scale);
+    return generate_topology(era, seed);
+  }
+};
+
+TEST_F(GeneratorTest, SizesMatchEra) {
+  const Topology t = make();
+  EXPECT_EQ(static_cast<int>(t.graph.size()), t.params.n_as);
+  EXPECT_EQ(static_cast<int>(t.collector_names.size()), t.params.n_collectors);
+  EXPECT_LE(static_cast<int>(t.vantage_points.size()), t.params.n_peers);
+  EXPECT_GT(t.vantage_points.size(), 0u);
+  EXPECT_EQ(t.prefixes.size(), t.graph.size());
+}
+
+TEST_F(GeneratorTest, HierarchyIsConnected) {
+  for (std::uint64_t seed : {1, 7, 42}) {
+    EXPECT_TRUE(make(2004.0, 0.02, seed).graph.hierarchy_connected()) << seed;
+    EXPECT_TRUE(make(2024.0, 0.01, seed).graph.hierarchy_connected()) << seed;
+  }
+}
+
+TEST_F(GeneratorTest, Tier1CliqueAndNoProviders) {
+  const Topology t = make();
+  for (int i = 0; i < t.params.n_tier1; ++i) {
+    const auto& node = t.graph.node(static_cast<NodeId>(i));
+    EXPECT_EQ(node.tier, Tier::kTier1);
+    int tier1_peers = 0;
+    for (const auto& nb : node.neighbors) {
+      EXPECT_NE(nb.rel, Rel::kProvider) << "tier-1 must not buy transit";
+      if (t.graph.node(nb.node).tier == Tier::kTier1) {
+        EXPECT_EQ(nb.rel, Rel::kPeer);
+        ++tier1_peers;
+      }
+    }
+    EXPECT_EQ(tier1_peers, t.params.n_tier1 - 1);
+  }
+}
+
+TEST_F(GeneratorTest, NonTier1HaveUpstreamOrSibling) {
+  const Topology t = make();
+  for (NodeId v = 0; v < t.graph.size(); ++v) {
+    const auto& node = t.graph.node(v);
+    if (node.tier == Tier::kTier1) continue;
+    const bool connected = !node.neighbors.empty();
+    EXPECT_TRUE(connected) << "node " << v << " isolated";
+  }
+}
+
+TEST_F(GeneratorTest, AsnsAreUniqueAndClean) {
+  const Topology t = make();
+  std::unordered_set<net::Asn> seen;
+  for (const auto& node : t.graph.nodes()) {
+    EXPECT_TRUE(seen.insert(node.asn).second);
+    EXPECT_FALSE(net::is_bogon_asn(node.asn));
+  }
+}
+
+TEST_F(GeneratorTest, PrefixesAreDistinctPerAs) {
+  const Topology t = make();
+  std::set<net::Prefix> all;
+  std::size_t count = 0;
+  for (const auto& list : t.prefixes) {
+    for (const auto& p : list) {
+      EXPECT_EQ(p.family(), net::Family::kIPv4);
+      all.insert(p);
+      ++count;
+    }
+  }
+  // Aggregates + their more-specifics may nest, but exact duplicates would
+  // collapse into one pool entry and silently create MOAS everywhere.
+  EXPECT_EQ(all.size(), count);
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  const Topology a = make(2012.0, 0.02, 99);
+  const Topology b = make(2012.0, 0.02, 99);
+  ASSERT_EQ(a.graph.size(), b.graph.size());
+  for (NodeId v = 0; v < a.graph.size(); ++v) {
+    EXPECT_EQ(a.graph.node(v).asn, b.graph.node(v).asn);
+    EXPECT_EQ(a.graph.node(v).neighbors.size(),
+              b.graph.node(v).neighbors.size());
+  }
+  EXPECT_EQ(a.total_prefixes(), b.total_prefixes());
+  ASSERT_EQ(a.vantage_points.size(), b.vantage_points.size());
+  for (std::size_t i = 0; i < a.vantage_points.size(); ++i) {
+    EXPECT_EQ(a.vantage_points[i].node, b.vantage_points[i].node);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  const Topology a = make(2012.0, 0.02, 1);
+  const Topology b = make(2012.0, 0.02, 2);
+  bool any_diff = a.graph.size() != b.graph.size();
+  for (NodeId v = 0; !any_diff && v < a.graph.size() && v < b.graph.size();
+       ++v) {
+    any_diff = a.graph.node(v).asn != b.graph.node(v).asn;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, FaultPeersMatchEra) {
+  const Topology t = make(2022.0, 0.05);
+  int addpath = 0, priv = 0;
+  for (const auto& vp : t.vantage_points) {
+    addpath += vp.addpath_broken;
+    priv += vp.private_asn_injector;
+    if (vp.addpath_broken) {
+      // ADD-PATH breakage is a RouteViews-collector phenomenon (A8.3.1).
+      EXPECT_NE(t.collector_names[vp.collector].find("route-views"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(addpath, t.params.n_addpath_broken);
+  EXPECT_EQ(priv, t.params.private_asn_peer ? 1 : 0);
+}
+
+TEST_F(GeneratorTest, PartialFeedShareRoughlyMatches) {
+  const Topology t = make(2024.0, 0.05);
+  int full = 0;
+  for (const auto& vp : t.vantage_points) full += vp.share_fraction == 1.0;
+  const double frac = static_cast<double>(full) / t.vantage_points.size();
+  EXPECT_NEAR(frac, t.params.full_feed_frac, 0.2);
+}
+
+TEST_F(GeneratorTest, SiblingChainsShareOrg) {
+  const Topology t = make(2012.0, 0.05);
+  int sibling_edges = 0;
+  for (NodeId v = 0; v < t.graph.size(); ++v) {
+    for (const auto& nb : t.graph.node(v).neighbors) {
+      if (nb.rel != Rel::kSibling) continue;
+      ++sibling_edges;
+      EXPECT_EQ(t.graph.node(v).org, t.graph.node(nb.node).org);
+    }
+  }
+  EXPECT_GT(sibling_edges, 0);
+}
+
+TEST_F(GeneratorTest, FitiPrefixesUnderOneV6Block) {
+  const Topology t = make(2022.0, 0.05, 1, net::Family::kIPv6);
+  ASSERT_GT(t.params.fiti_ases, 0);
+  const auto fiti_block = *net::Prefix::parse("240a:a000::/20");
+  int fiti_prefixes = 0;
+  for (const auto& list : t.prefixes) {
+    for (const auto& p : list) {
+      if (fiti_block.contains(p)) {
+        EXPECT_EQ(p.length(), 32);
+        ++fiti_prefixes;
+      }
+    }
+  }
+  EXPECT_EQ(fiti_prefixes, t.params.fiti_ases);
+}
+
+TEST_F(GeneratorTest, MoasEntriesReferenceForeignPrefixes) {
+  const Topology t = make(2012.0, 0.05);
+  for (const auto& [node, prefix] : t.moas_extra) {
+    ASSERT_LT(node, t.graph.size());
+    // The prefix must belong to some other node's allocation.
+    bool found_elsewhere = false;
+    for (NodeId v = 0; v < t.graph.size() && !found_elsewhere; ++v) {
+      if (v == node) continue;
+      for (const auto& p : t.prefixes[v]) {
+        if (p == prefix) {
+          found_elsewhere = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(found_elsewhere);
+  }
+}
+
+}  // namespace
+}  // namespace bgpatoms::topo

@@ -1,0 +1,151 @@
+// Tests for the atom/update correlation analysis (§3.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/update_corr.h"
+#include "testutil.h"
+
+namespace bgpatoms::core {
+namespace {
+
+using test::DatasetBuilder;
+
+struct Fixture {
+  bgp::Dataset ds;
+  SanitizedSnapshot snap;
+  AtomSet atoms;
+};
+
+/// Origin 1 has atoms {A,B} (same paths) and {C}; origin 2 has {D}.
+Fixture standard_fixture() {
+  DatasetBuilder b;
+  b.peer(100)
+      .route("10.0.0.0/16", "100 1")      // A
+      .route("10.1.0.0/16", "100 1")      // B
+      .route("10.2.0.0/16", "100 9 1")    // C
+      .route("10.3.0.0/16", "100 2");     // D
+  Fixture f{std::move(b.dataset()), {}, {}};
+  f.snap = sanitize(f.ds, 0, test::lax_config());
+  f.atoms = compute_atoms(f.snap);
+  return f;
+}
+
+TEST(UpdateCorr, FullAtomUpdateCounts) {
+  Fixture f = standard_fixture();
+  DatasetBuilder helper;  // reuse its interning logic indirectly
+  std::vector<bgp::UpdateRecord> updates;
+  bgp::UpdateRecord u;
+  u.announced = {f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16")),
+                 f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"))};
+  updates.push_back(u);
+
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_EQ(corr.updates_seen, 1u);
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 1.0);  // the size-2 atom seen in full
+}
+
+TEST(UpdateCorr, PartialAtomUpdateCounts) {
+  Fixture f = standard_fixture();
+  std::vector<bgp::UpdateRecord> updates(2);
+  updates[0].announced = {
+      f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"))};
+  updates[1].announced = {
+      f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"))};
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 0.0);
+  EXPECT_EQ(corr.atom.n_any[2], 2u);
+}
+
+TEST(UpdateCorr, MixedFullAndPartial) {
+  Fixture f = standard_fixture();
+  const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
+  const auto bb = f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"));
+  std::vector<bgp::UpdateRecord> updates(3);
+  updates[0].announced = {a, bb};  // full
+  updates[1].announced = {a};      // partial
+  updates[2].announced = {a, bb};  // full
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_NEAR(corr.atom.at(2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(UpdateCorr, WithdrawnPrefixesCount) {
+  Fixture f = standard_fixture();
+  std::vector<bgp::UpdateRecord> updates(1);
+  updates[0].withdrawn = {
+      f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16")),
+      f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"))};
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 1.0);
+}
+
+TEST(UpdateCorr, AsCurveCountsWholeOrigin) {
+  Fixture f = standard_fixture();
+  const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
+  const auto bb = f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"));
+  const auto c = f.ds.prefixes.find(*net::Prefix::parse("10.2.0.0/16"));
+  std::vector<bgp::UpdateRecord> updates(2);
+  updates[0].announced = {a, bb};      // atom full, AS(3 prefixes) partial
+  updates[1].announced = {a, bb, c};   // AS full
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 1.0);
+  EXPECT_NEAR(corr.as_all.at(3), 0.5, 1e-9);
+}
+
+TEST(UpdateCorr, AsCategorySplit) {
+  // Origin 1 has a multi-prefix atom; origin 2 (one prefix) and a crafted
+  // origin 3 with two single-prefix atoms populate the "single" category.
+  DatasetBuilder b;
+  b.peer(100)
+      .route("10.0.0.0/16", "100 1")
+      .route("10.1.0.0/16", "100 1")
+      .route("10.4.0.0/16", "100 5 3")
+      .route("10.5.0.0/16", "100 6 3");
+  Fixture f{std::move(b.dataset()), {}, {}};
+  f.snap = sanitize(f.ds, 0, test::lax_config());
+  f.atoms = compute_atoms(f.snap);
+
+  const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
+  const auto bb = f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"));
+  const auto d = f.ds.prefixes.find(*net::Prefix::parse("10.4.0.0/16"));
+  const auto e = f.ds.prefixes.find(*net::Prefix::parse("10.5.0.0/16"));
+  std::vector<bgp::UpdateRecord> updates(2);
+  updates[0].announced = {a, bb};  // AS 1 in full (2 prefixes)
+  updates[1].announced = {d};      // AS 3 partial
+  (void)e;
+  const auto corr = correlate_updates(f.atoms, updates);
+  // AS 1 has a multi-prefix atom -> multi category, seen in full.
+  EXPECT_DOUBLE_EQ(corr.as_multi.at(2), 1.0);
+  // AS 3 is all-single-prefix-atoms -> single category, never full.
+  EXPECT_DOUBLE_EQ(corr.as_single.at(2), 0.0);
+}
+
+TEST(UpdateCorr, UnknownPrefixesIgnored) {
+  Fixture f = standard_fixture();
+  std::vector<bgp::UpdateRecord> updates(1);
+  updates[0].announced = {999999};
+  const auto corr = correlate_updates(f.atoms, updates);
+  for (std::size_t k = 1; k < corr.atom.pr.size(); ++k) {
+    EXPECT_EQ(corr.atom.n_any[k], 0u);
+  }
+}
+
+TEST(UpdateCorr, CurveBeyondMaxKIsNan) {
+  Fixture f = standard_fixture();
+  const auto corr = correlate_updates(f.atoms, {}, 4);
+  EXPECT_TRUE(std::isnan(corr.atom.at(5)));
+  EXPECT_TRUE(std::isnan(corr.atom.at(2)));  // no updates at all
+}
+
+TEST(UpdateCorr, SizeOneEntitiesAlwaysFull) {
+  Fixture f = standard_fixture();
+  std::vector<bgp::UpdateRecord> updates(1);
+  updates[0].announced = {
+      f.ds.prefixes.find(*net::Prefix::parse("10.3.0.0/16"))};
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_DOUBLE_EQ(corr.atom.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(corr.as_all.at(1), 1.0);
+}
+
+}  // namespace
+}  // namespace bgpatoms::core

@@ -1,0 +1,34 @@
+// Internal calibration harness: prints the Table-1 shape metrics for a year.
+#include <cstdio>
+#include <cstdlib>
+#include "core/atoms.h"
+#include "core/sanitize.h"
+#include "core/stats.h"
+#include "core/formation.h"
+#include "routing/simulator.h"
+#include "topo/topology.h"
+using namespace bgpatoms;
+int main(int argc, char** argv) {
+  const double year = argc > 1 ? std::atof(argv[1]) : 2024.75;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.02;
+  const int v6 = argc > 3 ? std::atoi(argv[3]) : 0;
+  const auto era = v6 ? topo::era_params_v6(year, scale) : topo::era_params_v4(year, scale);
+  routing::Simulator sim(topo::generate_topology(era, 42));
+  sim.capture();
+  auto snap = core::sanitize(sim.dataset(), 0);
+  auto atoms = core::compute_atoms(snap);
+  auto s = core::general_stats(atoms);
+  auto f = core::formation_distance(atoms);
+  std::printf("year %.2f scale %.3f fam v%d: pfx=%zu as=%zu atoms=%zu atoms/AS=%.2f ppa=%.2f\n",
+              year, scale, v6?6:4, s.prefixes, s.ases, s.atoms,
+              (double)s.atoms/s.ases, (double)s.prefixes/s.ases);
+  std::printf("  1atomAS=%.1f%% 1pfxAtom=%.1f%% mean=%.2f p99=%zu max=%zu\n",
+              100*s.one_atom_as_share(), 100*s.one_prefix_atom_share(),
+              s.mean_atom_size, s.p99_atom_size, s.largest_atom_size);
+  std::printf("  formed@d: 1=%.0f%% 2=%.0f%% 3=%.0f%% 4=%.0f%% 5=%.0f%%  causes(d1): only=%.0f%% vis=%.0f%% prep=%.0f%%\n",
+              100*f.share_at(1), 100*f.share_at(2), 100*f.share_at(3), 100*f.share_at(4), 100*f.share_at(5),
+              100*f.cause_share(core::DistanceOneCause::kOnlyAtomOfOrigin),
+              100*f.cause_share(core::DistanceOneCause::kUniquePeerSet),
+              100*f.cause_share(core::DistanceOneCause::kPrepending));
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Calibration harness for stability + update correlation.
+#include <cstdio>
+#include <cstdlib>
+#include "core/longitudinal.h"
+using namespace bgpatoms;
+int main(int argc, char** argv) {
+  core::CampaignConfig cfg;
+  cfg.year = argc > 1 ? std::atof(argv[1]) : 2024.75;
+  cfg.scale = argc > 2 ? std::atof(argv[2]) : 0.02;
+  cfg.family = (argc > 3 && std::atoi(argv[3])) ? net::Family::kIPv6 : net::Family::kIPv4;
+  cfg.seed = 7;
+  cfg.with_stability = true;
+  cfg.with_updates = true;
+  auto c = core::run_campaign(cfg);
+  std::printf("year %.2f: atoms=%zu events=%zu\n", cfg.year, c.atoms().atoms.size(), c.sim->events_applied());
+  std::printf("  CAM/MPM 8h=%.1f/%.1f 24h=%.1f/%.1f 1w=%.1f/%.1f\n",
+    100*c.stability_8h->cam, 100*c.stability_8h->mpm,
+    100*c.stability_24h->cam, 100*c.stability_24h->mpm,
+    100*c.stability_1w->cam, 100*c.stability_1w->mpm);
+  std::printf("  updates=%zu PrFull atom k=2..6:", c.correlation->updates_seen);
+  for (int k=2;k<=6;++k) std::printf(" %.0f", 100*c.correlation->atom.at(k));
+  std::printf("  AS k=2..6:");
+  for (int k=2;k<=6;++k) std::printf(" %.0f", 100*c.correlation->as_all.at(k));
+  std::printf("\n  AS-multi:");
+  for (int k=2;k<=6;++k) std::printf(" %.0f", 100*c.correlation->as_multi.at(k));
+  std::printf("  AS-single:");
+  for (int k=2;k<=6;++k) std::printf(" %.0f", 100*c.correlation->as_single.at(k));
+  std::printf("\n");
+  return 0;
+}
