@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/longitudinal.h"
+#include "core/parallel.h"
 
 namespace bgpatoms::bench {
 
@@ -37,6 +38,16 @@ inline void note_scale(double scale) {
   std::printf("[synthetic Internet at scale %.4f of real size; "
               "see EXPERIMENTS.md]\n\n",
               scale);
+}
+
+/// Worker-pool options for the longitudinal sweeps (BGPATOMS_THREADS
+/// overrides; per-job seeds are explicit, so output is identical to the
+/// old sequential loops for any worker count).
+inline core::SweepOptions sweep_options() {
+  core::SweepOptions opt;
+  std::printf("[sweep over %d worker threads]\n",
+              core::resolve_threads(opt.threads));
+  return opt;
 }
 
 inline std::string pct(double v, int decimals = 1) {

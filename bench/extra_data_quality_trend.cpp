@@ -2,8 +2,6 @@
 //   §2.4.3 — MOAS prefixes stay consistently below 5% of the table.
 //   §2.4.4 — paths containing AS_SETs stay below 1%.
 // Also reports the share of prefixes the visibility filter removes.
-#include "core/stats.h"
-
 #include "bench_util.h"
 
 using namespace bgpatoms;
@@ -15,36 +13,26 @@ int main() {
   const double scale = 0.01 * mult;
   note_scale(scale);
 
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
+    core::SweepJob job;
+    job.config.year = year;
+    job.config.scale = scale;
+    job.config.seed = 7000 + static_cast<int>(year);
+    jobs.push_back(job);
+  }
+  const auto metrics = core::run_sweep(jobs, sweep_options());
+
   std::printf("  %-7s %12s %14s %18s\n", "year", "MOAS share",
               "AS_SET paths", "visibility-dropped");
   double max_moas = 0, max_asset = 0;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::CampaignConfig config;
-    config.year = year;
-    config.scale = scale;
-    config.seed = 7000 + static_cast<int>(year);
-    const auto c = core::run_campaign(config);
-    const auto& report = c.sanitized.front().report;
-
-    std::size_t records = 0;
-    for (const auto& vp : c.sanitized.front().vps) {
-      records += vp.routes.size();
-    }
-    const double asset_share =
-        records ? static_cast<double>(report.asset_paths_expanded +
-                                      report.records_dropped_asset) /
-                      static_cast<double>(records)
-                : 0.0;
-    const double vis_share =
-        report.prefixes_in
-            ? static_cast<double>(report.prefixes_dropped_visibility) /
-                  static_cast<double>(report.prefixes_in)
-            : 0.0;
-    std::printf("  %-7.0f %12s %14s %18s\n", year,
-                pct(c.stats.moas_prefix_share, 2).c_str(),
-                pct(asset_share, 2).c_str(), pct(vis_share, 2).c_str());
-    max_moas = std::max(max_moas, c.stats.moas_prefix_share);
-    max_asset = std::max(max_asset, asset_share);
+  for (const auto& m : metrics) {
+    std::printf("  %-7.0f %12s %14s %18s\n", m.year,
+                pct(m.stats.moas_prefix_share, 2).c_str(),
+                pct(m.asset_path_share, 2).c_str(),
+                pct(m.visibility_dropped_share, 2).c_str());
+    max_moas = std::max(max_moas, m.stats.moas_prefix_share);
+    max_asset = std::max(max_asset, m.asset_path_share);
   }
 
   std::printf("\nClaim checks:\n");

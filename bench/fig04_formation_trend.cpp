@@ -12,16 +12,21 @@ int main() {
   const double scale = 0.008 * mult;
   note_scale(scale);
 
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
+    jobs.push_back(core::quarter_job(net::Family::kIPv4, year, scale,
+                                     /*seed=*/1000 + (int)year));
+  }
+  const auto metrics = core::run_sweep(jobs, sweep_options());
+
   std::printf("  %-7s | %29s | %29s\n", "", "all ASes (d=1..5)",
               "excl. single-atom ASes");
   std::printf("  %-7s | %5s %5s %5s %5s %5s | %5s %5s %5s %5s %5s\n", "year",
               "d1", "d2", "d3", "d4", "d5", "d1", "d2", "d3", "d4", "d5");
 
   double first_d1 = -1, last_d1 = 0, first_d3 = -1, last_d3 = 0;
-  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
-    const auto m = core::run_quarter(net::Family::kIPv4, year, scale,
-                                     /*seed=*/1000 + (int)year);
-    std::printf("  %-7.0f |", year);
+  for (const auto& m : metrics) {
+    std::printf("  %-7.0f |", m.year);
     for (int d = 1; d <= 5; ++d) std::printf(" %5.1f", 100 * m.formed_at[d]);
     std::printf(" |");
     for (int d = 1; d <= 5; ++d) {

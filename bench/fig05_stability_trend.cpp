@@ -11,16 +11,21 @@ int main() {
   const double scale = 0.008 * mult;
   note_scale(scale);
 
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
+    jobs.push_back(core::quarter_job(net::Family::kIPv4, year, scale,
+                                     /*seed=*/2000 + (int)year));
+  }
+  const auto metrics = core::run_sweep(jobs, sweep_options());
+
   std::printf("  %-7s | %10s %10s | %10s %10s\n", "year", "CAM 8h", "MPM 8h",
               "CAM 1w", "MPM 1w");
   double min_cam8 = 1.0, max_cam8 = 0.0, last_cam8 = 0.0;
-  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
-    const auto m = core::run_quarter(net::Family::kIPv4, year, scale,
-                                     /*seed=*/2000 + (int)year);
-    std::printf("  %-7.0f | %10s %10s | %10s %10s\n", year,
+  for (const auto& m : metrics) {
+    std::printf("  %-7.0f | %10s %10s | %10s %10s\n", m.year,
                 pct(m.cam_8h).c_str(), pct(m.mpm_8h).c_str(),
                 pct(m.cam_1w).c_str(), pct(m.mpm_1w).c_str());
-    if (year < 2023) {
+    if (m.year < 2023) {
       min_cam8 = std::min(min_cam8, m.cam_8h);
       max_cam8 = std::max(max_cam8, m.cam_8h);
     }

@@ -11,18 +11,22 @@ int main() {
   const double scale = 0.01 * mult;
   note_scale(scale);
 
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
+    core::SweepJob job;
+    job.config.year = year;
+    job.config.scale = scale;
+    job.config.seed = 5000 + static_cast<int>(year);
+    jobs.push_back(job);
+  }
+  const auto metrics = core::run_sweep(jobs, sweep_options());
+
   std::printf("  %-7s %18s %22s\n", "year", "max unique pfx",
               "scale-normalized");
   double first = 0, last = 0;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::CampaignConfig config;
-    config.year = year;
-    config.scale = scale;
-    config.seed = 5000 + static_cast<int>(year);
-    const auto c = core::run_campaign(config);
-    const double raw =
-        static_cast<double>(c.sanitized.front().report.max_unique_prefixes);
-    std::printf("  %-7.0f %18.0f %22.0f\n", year, raw, raw / scale);
+  for (const auto& m : metrics) {
+    const double raw = static_cast<double>(m.full_feed_threshold);
+    std::printf("  %-7.0f %18.0f %22.0f\n", m.year, raw, raw / scale);
     if (first == 0) first = raw;
     last = raw;
   }

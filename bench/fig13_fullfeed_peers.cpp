@@ -10,23 +10,27 @@ int main() {
   const double scale = 0.01 * mult;
   note_scale(scale);
 
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
+    core::SweepJob job;
+    job.config.year = year;
+    job.config.scale = scale;
+    job.config.seed = 6000 + static_cast<int>(year);
+    jobs.push_back(job);
+  }
+  const auto metrics = core::run_sweep(jobs, sweep_options());
+
   std::printf("  %-7s %14s %14s %20s\n", "year", "peer sessions",
               "full-feed", "scale-normalized");
   double first = 0, last = 0;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::CampaignConfig config;
-    config.year = year;
-    config.scale = scale;
-    config.seed = 6000 + static_cast<int>(year);
-    const auto c = core::run_campaign(config);
-    const auto& report = c.sanitized.front().report;
+  for (const auto& m : metrics) {
     // Peers scale with sqrt(scale) in the era model (see era.cpp).
     const double normalized =
-        static_cast<double>(report.full_feed_peers) / std::sqrt(scale);
-    std::printf("  %-7.0f %14zu %14zu %20.0f\n", year, report.peers_in,
-                report.full_feed_peers, normalized);
-    if (first == 0) first = static_cast<double>(report.full_feed_peers);
-    last = static_cast<double>(report.full_feed_peers);
+        static_cast<double>(m.full_feed_peers) / std::sqrt(scale);
+    std::printf("  %-7.0f %14zu %14zu %20.0f\n", m.year, m.peers_in,
+                m.full_feed_peers, normalized);
+    if (first == 0) first = static_cast<double>(m.full_feed_peers);
+    last = static_cast<double>(m.full_feed_peers);
   }
   std::printf("\nShape check (paper Fig. 13): full-feed peers grow from <50 "
               "to ~600 (>10x): sim %.1fx\n",

@@ -25,7 +25,10 @@ constexpr char kUsage[] =
     "  --stability          compare snapshot 0 against each later snapshot\n"
     "  --min-peers <n>      visibility threshold, peer ASes (default 4)\n"
     "  --min-collectors <n> visibility threshold, collectors (default 2)\n"
-    "  --no-filter          disable prefix filtering (2002-style)\n";
+    "  --no-filter          disable prefix filtering (2002-style)\n"
+    "  --threads <n>        worker threads for atom grouping (default: the\n"
+    "                       BGPATOMS_THREADS env var, else all hardware\n"
+    "                       threads; results are identical for any count)\n";
 
 void write_csv(const std::string& path, const core::SanitizedSnapshot& snap,
                const core::AtomSet& atoms) {
@@ -76,8 +79,11 @@ int main(int argc, char** argv) {
                  ds.snapshots.size());
     return 1;
   }
+  core::AtomOptions atom_options;
+  atom_options.threads = static_cast<int>(args.get_int("threads", 0));
+
   const auto snap = core::sanitize(ds, index, config);
-  const auto atoms = core::compute_atoms(snap);
+  const auto atoms = core::compute_atoms(snap, atom_options);
   const auto stats = core::general_stats(atoms);
 
   std::printf("snapshot %zu (t=%lld): %zu full-feed peers of %zu\n", index,
@@ -103,7 +109,7 @@ int main(int argc, char** argv) {
     std::printf("\nstability vs snapshot 0:\n");
     for (std::size_t i = 1; i < ds.snapshots.size(); ++i) {
       const auto later = core::sanitize(ds, i, config);
-      const auto later_atoms = core::compute_atoms(later);
+      const auto later_atoms = core::compute_atoms(later, atom_options);
       const auto r = core::stability(atoms, later_atoms);
       std::printf("  snapshot %zu (t=%lld): CAM %.1f%%  MPM %.1f%%\n", i,
                   static_cast<long long>(later.timestamp), 100 * r.cam,

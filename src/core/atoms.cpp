@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 
+#include "core/parallel.h"
 #include "net/hash.h"
 
 namespace bgpatoms::core {
@@ -57,7 +58,12 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
   std::vector<std::uint64_t> entries(offsets.back());
   {
     std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::uint16_t vp = 0; vp < snapshot.vps.size(); ++vp) {
+    // The packed entry reserves the upper 32 bits for the VP id; the loop
+    // counter must be at least that wide or it wraps (and never ends) past
+    // 65535 VPs.
+    assert(snapshot.vps.size() <= UINT32_MAX);
+    for (std::uint32_t vp = 0;
+         vp < static_cast<std::uint32_t>(snapshot.vps.size()); ++vp) {
       for (const auto& [prefix, path] : snapshot.vps[vp].routes) {
         const std::uint32_t idx = dense.at(prefix);
         entries[cursor[idx]++] =
@@ -67,50 +73,99 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
   }
 
   // Group prefixes by signature (hash bucket + exact span equality).
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> atom_bucket;
-  atom_bucket.reserve(prefixes.size());
+  // Sharded by signature hash: equal signatures share a hash, so shards
+  // group independently; the merge orders groups by their lowest prefix
+  // index, reproducing the sequential first-encounter order bit-exactly
+  // for any worker count.
   auto signature = [&](std::uint32_t idx) {
     return std::span<const std::uint64_t>(entries.data() + offsets[idx],
                                           counts[idx]);
   };
-  for (std::uint32_t idx = 0; idx < prefixes.size(); ++idx) {
-    const auto sig = signature(idx);
-    const std::uint64_t h = hash_span(sig, 0x9d3f);
-    auto& bucket = atom_bucket[h];
-    bool placed = false;
-    for (std::uint32_t atom_idx : bucket) {
-      const auto other = signature(
-          dense.at(out.atoms[atom_idx].prefixes.front()));
-      if (std::ranges::equal(sig, other)) {
-        out.atoms[atom_idx].prefixes.push_back(prefixes[idx]);
-        placed = true;
-        break;
+  const std::size_t n = prefixes.size();
+  constexpr std::size_t kParallelMinPrefixes = 4096;
+  TaskPool pool(n >= kParallelMinPrefixes ? options.threads : 1);
+
+  std::vector<std::uint64_t> hashes(n);
+  constexpr std::size_t kChunk = 2048;
+  pool.run((n + kChunk - 1) / kChunk, [&](std::size_t c) {
+    const std::size_t hi = std::min(n, (c + 1) * kChunk);
+    for (std::size_t idx = c * kChunk; idx < hi; ++idx) {
+      hashes[idx] = hash_span(signature(static_cast<std::uint32_t>(idx)),
+                              0x9d3f);
+    }
+  });
+
+  constexpr std::size_t kShards = 64;
+  std::vector<std::uint64_t> shard_offset(kShards + 1, 0);
+  for (std::uint64_t h : hashes) ++shard_offset[(h % kShards) + 1];
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shard_offset[s + 1] += shard_offset[s];
+  }
+  std::vector<std::uint32_t> shard_items(n);
+  {
+    std::vector<std::uint64_t> cursor(shard_offset.begin(),
+                                      shard_offset.end() - 1);
+    for (std::uint32_t idx = 0; idx < n; ++idx) {
+      shard_items[cursor[hashes[idx] % kShards]++] = idx;
+    }
+  }
+
+  std::vector<std::vector<std::vector<std::uint32_t>>> shard_groups(kShards);
+  pool.run(kShards, [&](std::size_t s) {
+    auto& groups = shard_groups[s];
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> bucket;
+    for (std::uint64_t i = shard_offset[s]; i < shard_offset[s + 1]; ++i) {
+      const std::uint32_t idx = shard_items[i];
+      const auto sig = signature(idx);
+      auto& b = bucket[hashes[idx]];
+      bool placed = false;
+      for (std::uint32_t gid : b) {
+        if (std::ranges::equal(sig, signature(groups[gid].front()))) {
+          groups[gid].push_back(idx);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        b.push_back(static_cast<std::uint32_t>(groups.size()));
+        groups.push_back({idx});
       }
     }
-    if (!placed) {
-      Atom atom;
-      atom.prefixes.push_back(prefixes[idx]);
-      bucket.push_back(static_cast<std::uint32_t>(out.atoms.size()));
-      out.atoms.push_back(std::move(atom));
-    }
+  });
+
+  // Deterministic merge: shard items were claimed in ascending prefix-index
+  // order, so each group's front() is its minimum index.
+  std::vector<std::vector<std::uint32_t>> merged;
+  for (auto& groups : shard_groups) {
+    merged.insert(merged.end(), std::make_move_iterator(groups.begin()),
+                  std::make_move_iterator(groups.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  out.atoms.reserve(merged.size());
+  for (const auto& group : merged) {
+    Atom atom;
+    atom.prefixes.reserve(group.size());
+    for (std::uint32_t idx : group) atom.prefixes.push_back(prefixes[idx]);
+    out.atoms.push_back(std::move(atom));
   }
 
   // Finalize: per-atom paths, origin, MOAS flag, indexes.
   out.own_pool = stripped_pool;
-  const net::PathPool& pool = out.paths();
+  const net::PathPool& path_pool = out.paths();
   for (std::uint32_t a = 0; a < out.atoms.size(); ++a) {
     Atom& atom = out.atoms[a];
     std::sort(atom.prefixes.begin(), atom.prefixes.end());
     const auto sig = signature(dense.at(atom.prefixes.front()));
     atom.paths.reserve(sig.size());
     for (std::uint64_t e : sig) {
-      atom.paths.emplace_back(static_cast<std::uint16_t>(e >> 32),
+      atom.paths.emplace_back(static_cast<std::uint32_t>(e >> 32),
                               static_cast<bgp::PathId>(e & 0xffffffffu));
     }
     net::Asn origin = 0;
     for (const auto& [vp, path] : atom.paths) {
       (void)vp;
-      const auto o = pool.get(path).origin();
+      const auto o = path_pool.get(path).origin();
       if (!o) continue;
       if (origin == 0) {
         origin = *o;

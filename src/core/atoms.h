@@ -24,6 +24,11 @@ struct AtomOptions {
   /// Method (i) of §3.4.2: collapse AS-path prepending *before* grouping.
   /// Default off — the paper (and methods (ii)/(iii)) group on raw paths.
   bool strip_prepends_before_grouping = false;
+  /// Workers for the signature hashing/grouping loop; 0 resolves via
+  /// BGPATOMS_THREADS / hardware (core/parallel.h). Default 1 (serial):
+  /// campaigns running under run_sweep() are already parallel at the job
+  /// level. The result is bit-identical for any value.
+  int threads = 1;
 };
 
 struct Atom {
@@ -31,13 +36,16 @@ struct Atom {
   std::vector<bgp::PrefixId> prefixes;
   /// Per-VP observed path: (vp index into snapshot->vps, path id in the
   /// snapshot's pool), ascending by vp. VPs not listed do not see the atom.
-  std::vector<std::pair<std::uint16_t, bgp::PathId>> paths;
+  /// 32-bit vp ids, matching the packed signature entries.
+  std::vector<std::pair<std::uint32_t, bgp::PathId>> paths;
   /// Origin AS (from any observed path); 0 if indeterminate.
   net::Asn origin = 0;
   /// True if the observed paths disagree on the origin AS (MOAS conflict).
   bool moas = false;
 
   std::size_t size() const { return prefixes.size(); }
+
+  friend bool operator==(const Atom&, const Atom&) = default;
 };
 
 struct AtomSet {

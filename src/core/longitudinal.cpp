@@ -1,5 +1,7 @@
 #include "core/longitudinal.h"
 
+#include "core/parallel.h"
+
 namespace bgpatoms::core {
 
 using routing::kDay;
@@ -52,16 +54,7 @@ Campaign run_campaign(const CampaignConfig& config) {
   return c;
 }
 
-QuarterMetrics run_quarter(net::Family family, double year, double scale,
-                           std::uint64_t seed) {
-  CampaignConfig config;
-  config.family = family;
-  config.year = year;
-  config.scale = scale;
-  config.seed = seed;
-  config.with_stability = true;
-  Campaign c = run_campaign(config);
-
+QuarterMetrics quarter_metrics(const Campaign& c, double year) {
   QuarterMetrics m;
   m.year = year;
   m.stats = c.stats;
@@ -74,13 +67,62 @@ QuarterMetrics run_quarter(net::Family family, double year, double scale,
     m.cam_8h = c.stability_8h->cam;
     m.mpm_8h = c.stability_8h->mpm;
   }
+  if (c.stability_24h) {
+    m.cam_24h = c.stability_24h->cam;
+    m.mpm_24h = c.stability_24h->mpm;
+  }
   if (c.stability_1w) {
     m.cam_1w = c.stability_1w->cam;
     m.mpm_1w = c.stability_1w->mpm;
   }
-  m.full_feed_peers = c.sanitized.front().report.full_feed_peers;
-  m.full_feed_threshold = c.sanitized.front().report.max_unique_prefixes;
+  const auto& report = c.sanitized.front().report;
+  m.full_feed_peers = report.full_feed_peers;
+  m.full_feed_threshold = report.max_unique_prefixes;
+  m.peers_in = report.peers_in;
+
+  std::size_t records = 0;
+  for (const auto& vp : c.sanitized.front().vps) records += vp.routes.size();
+  m.asset_path_share =
+      records ? static_cast<double>(report.asset_paths_expanded +
+                                    report.records_dropped_asset) /
+                    static_cast<double>(records)
+              : 0.0;
+  m.visibility_dropped_share =
+      report.prefixes_in
+          ? static_cast<double>(report.prefixes_dropped_visibility) /
+                static_cast<double>(report.prefixes_in)
+          : 0.0;
   return m;
+}
+
+QuarterMetrics run_quarter(net::Family family, double year, double scale,
+                           std::uint64_t seed) {
+  return quarter_metrics(run_campaign(quarter_job(family, year, scale, seed)
+                                          .config),
+                         year);
+}
+
+SweepJob quarter_job(net::Family family, double year, double scale,
+                     std::uint64_t seed) {
+  SweepJob job;
+  job.config.family = family;
+  job.config.year = year;
+  job.config.scale = scale;
+  job.config.seed = seed;
+  job.config.with_stability = true;
+  return job;
+}
+
+std::vector<QuarterMetrics> run_sweep(const std::vector<SweepJob>& jobs,
+                                      const SweepOptions& options) {
+  std::vector<QuarterMetrics> out(jobs.size());
+  TaskPool pool(options.threads);
+  pool.run(jobs.size(), [&](std::size_t i) {
+    CampaignConfig config = jobs[i].config;
+    if (config.seed == 0) config.seed = derive_seed(options.base_seed, i);
+    out[i] = quarter_metrics(run_campaign(config), config.year);
+  });
+  return out;
 }
 
 }  // namespace bgpatoms::core

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <deque>
+#include <vector>
 
 #include "core/atoms.h"
 #include "core/formation.h"
@@ -55,7 +56,8 @@ struct Campaign {
 
 Campaign run_campaign(const CampaignConfig& config);
 
-/// Compact per-quarter metrics for the trend figures (4, 5, 9, 11, 12, 13).
+/// Compact per-quarter metrics for the trend figures (4, 5, 9, 11, 12, 13)
+/// and the data-quality trend.
 struct QuarterMetrics {
   double year = 0;
   GeneralStats stats;
@@ -63,13 +65,54 @@ struct QuarterMetrics {
   std::array<double, 6> formed_at{};
   /// Same, excluding origins with a single atom (Fig. 4 dashed lines).
   std::array<double, 6> formed_at_multi{};
-  double cam_8h = 0, mpm_8h = 0, cam_1w = 0, mpm_1w = 0;
+  double cam_8h = 0, mpm_8h = 0;
+  double cam_24h = 0, mpm_24h = 0;
+  double cam_1w = 0, mpm_1w = 0;
   std::size_t full_feed_peers = 0;
   std::size_t full_feed_threshold = 0;  // max unique prefixes over peers
+  std::size_t peers_in = 0;             // peer sessions before sanitization
+  /// Data-quality shares of the first snapshot (§2.4.3/§2.4.4): AS_SET
+  /// paths per cleaned record, visibility-filtered prefixes per prefix.
+  double asset_path_share = 0;
+  double visibility_dropped_share = 0;
+
+  friend bool operator==(const QuarterMetrics&,
+                         const QuarterMetrics&) = default;
 };
+
+/// Extracts the trend metrics from a finished campaign (first snapshot;
+/// stability/update fields filled when the campaign captured them).
+QuarterMetrics quarter_metrics(const Campaign& campaign, double year);
 
 /// Runs one quarter at reduced scale and extracts the trend metrics.
 QuarterMetrics run_quarter(net::Family family, double year, double scale,
                            std::uint64_t seed);
+
+// --- parallel longitudinal sweeps -----------------------------------------
+
+/// One independent unit of sweep work: a full campaign configuration.
+struct SweepJob {
+  CampaignConfig config;
+};
+
+/// A quarterly job as the trend benches run it (§2.4.1 procedure with the
+/// stability captures enabled).
+SweepJob quarter_job(net::Family family, double year, double scale,
+                     std::uint64_t seed);
+
+struct SweepOptions {
+  /// Worker threads; 0 resolves via BGPATOMS_THREADS / hardware (see
+  /// core/parallel.h).
+  int threads = 0;
+  /// Seed base for jobs whose config.seed is 0: job i runs with
+  /// derive_seed(base_seed, i), independent of thread count.
+  std::uint64_t base_seed = 1;
+};
+
+/// Runs every job (each an independent share-nothing campaign) across a
+/// worker pool and returns their metrics in job order. Output is
+/// bit-identical to running the jobs sequentially, for any thread count.
+std::vector<QuarterMetrics> run_sweep(const std::vector<SweepJob>& jobs,
+                                      const SweepOptions& options = {});
 
 }  // namespace bgpatoms::core

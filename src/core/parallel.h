@@ -1,0 +1,78 @@
+// Deterministic task-pool subsystem.
+//
+// The longitudinal sweeps (and the atom grouping hot loop) are
+// embarrassingly parallel: independent jobs whose *inputs* fully determine
+// their outputs. Parallelism here therefore never touches the results —
+// every job owns its state (campaigns are share-nothing, see DESIGN.md),
+// seeds are derived per job index via SplitMix64, and merge steps order by
+// job/bucket index, so output is bit-identical for any worker count and
+// any completion order.
+//
+// Worker-count resolution order: explicit request > BGPATOMS_THREADS
+// environment variable > std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgpatoms::core {
+
+/// Worker count to use: `requested` if > 0, else the BGPATOMS_THREADS
+/// environment variable, else hardware_concurrency() (min 1).
+int resolve_threads(int requested = 0);
+
+/// Seed for sweep job `index` under sweep seed `base`. A SplitMix64 mix of
+/// (base, index): independent of thread count and execution order, and
+/// well-separated even for adjacent bases or indices.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+/// A fixed-size pool of worker threads executing indexed task batches.
+///
+/// `run(n, body)` invokes body(0..n-1) exactly once each, distributing
+/// indices over the workers plus the calling thread, and blocks until all
+/// are done. Tasks must not call back into the same pool. If any task
+/// throws, the first exception is rethrown from run() after the batch
+/// drains.
+class TaskPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread,
+  /// resolved via resolve_threads(); the pool spawns threads-1 workers.
+  explicit TaskPool(int threads = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Claims and executes indices of the current batch until exhausted.
+  void drain(const std::function<void(std::size_t)>& body, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // current batch
+  std::size_t batch_n_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per batch to wake workers
+  std::size_t active_ = 0;        // workers still inside the current batch
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::atomic<std::size_t> next_{0};  // next unclaimed index
+};
+
+/// One-shot helper: body(0..n-1) over resolve_threads(threads) workers.
+/// Runs inline (no pool) when n <= 1 or one worker resolves.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace bgpatoms::core

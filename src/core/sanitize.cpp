@@ -1,6 +1,7 @@
 #include "core/sanitize.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -117,13 +118,19 @@ SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
   std::size_t max_unique = 0;
   for (const auto& s : scans) max_unique = std::max(max_unique, s.unique_prefixes);
   rep.max_unique_prefixes = max_unique;
-  const auto full_feed_floor = static_cast<std::size_t>(
-      config.full_feed_fraction * static_cast<double>(max_unique));
+  // §2.4 rule: full-feed means carrying >= full_feed_fraction of the
+  // maximum unique-prefix count. The threshold is the smallest integer
+  // count satisfying that (ceil, with an epsilon absorbing the fraction's
+  // binary representation error) — a plain floor cast plus a strict
+  // comparison would exclude a peer sitting exactly on the boundary.
+  const auto full_feed_min = static_cast<std::size_t>(
+      std::ceil(config.full_feed_fraction * static_cast<double>(max_unique) -
+                1e-9));
   if (config.full_feed_only) {
     std::vector<const bgp::PeerFeed*> full;
     std::vector<PeerScan> full_scans;
     for (std::size_t i = 0; i < kept.size(); ++i) {
-      if (scans[i].unique_prefixes > full_feed_floor) {
+      if (scans[i].unique_prefixes >= full_feed_min) {
         full.push_back(kept[i]);
         full_scans.push_back(scans[i]);
       } else {

@@ -7,8 +7,8 @@
 //        * ADD-PATH-broken peers (records with the parse-warning statuses),
 //        * peers injecting private ASNs into many paths (the AS65000 case),
 //        * peers sharing excessive duplicate prefixes (>10%).
-//   2. Full-feed inference: a peer is full-feed if it carries data for more
-//      than `full_feed_fraction` (default 90%) of the maximum unique-prefix
+//   2. Full-feed inference: a peer is full-feed if it carries data for at
+//      least `full_feed_fraction` (default 90%) of the maximum unique-prefix
 //      count any remaining peer carries.
 //   3. Record cleaning: drop corrupt records, expand singleton AS_SETs,
 //      drop paths with multi-member AS_SETs, deduplicate.

@@ -21,6 +21,8 @@ struct GeneralStats {
   std::size_t moas_atoms = 0;
   double moas_prefix_share = 0.0;
 
+  friend bool operator==(const GeneralStats&, const GeneralStats&) = default;
+
   double one_atom_as_share() const {
     return ases ? static_cast<double>(ases_with_one_atom) / ases : 0.0;
   }

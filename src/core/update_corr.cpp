@@ -1,5 +1,6 @@
 #include "core/update_corr.h"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
 
@@ -78,15 +79,18 @@ UpdateCorrelation correlate_updates(
   as_e.finalize_entity_counts();
 
   // --- scan updates ---------------------------------------------------------
+  // A prefix may appear in both the announced and withdrawn lists of one
+  // record (withdraw + re-announce packed together); it still touches its
+  // entity once, so dedupe per record before counting — otherwise a
+  // half-updated entity can reach count >= size and inflate Pr_full(k).
+  std::vector<bgp::PrefixId> rec_prefixes;
   std::unordered_map<std::uint32_t, std::uint32_t> touched;  // entity -> count
-  auto scan = [&](Entities& e, const bgp::UpdateRecord& rec) {
+  auto scan = [&](Entities& e) {
     touched.clear();
-    auto add = [&](bgp::PrefixId p) {
+    for (bgp::PrefixId p : rec_prefixes) {
       const auto it = e.of_prefix.find(p);
       if (it != e.of_prefix.end()) ++touched[it->second];
-    };
-    for (bgp::PrefixId p : rec.announced) add(p);
-    for (bgp::PrefixId p : rec.withdrawn) add(p);
+    }
     for (const auto& [entity, count] : touched) {
       ++e.n_any[entity];
       if (count >= e.size[entity]) ++e.n_all[entity];
@@ -94,8 +98,15 @@ UpdateCorrelation correlate_updates(
   };
 
   for (const auto& rec : updates) {
-    scan(atom_e, rec);
-    scan(as_e, rec);
+    rec_prefixes.assign(rec.announced.begin(), rec.announced.end());
+    rec_prefixes.insert(rec_prefixes.end(), rec.withdrawn.begin(),
+                        rec.withdrawn.end());
+    std::sort(rec_prefixes.begin(), rec_prefixes.end());
+    rec_prefixes.erase(
+        std::unique(rec_prefixes.begin(), rec_prefixes.end()),
+        rec_prefixes.end());
+    scan(atom_e);
+    scan(as_e);
     ++out.updates_seen;
   }
 

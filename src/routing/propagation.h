@@ -52,7 +52,8 @@ class Propagator {
   explicit Propagator(const topo::AsGraph& graph);
 
   /// Computes routes toward `origin` for a unit with `policy` (nullptr =
-  /// default announce-everywhere policy). Reuses `out`'s storage.
+  /// default announce-everywhere policy). Reuses `out`'s storage. Const and
+  /// state-free: concurrent calls are safe with distinct `out` tables.
   void compute(topo::NodeId origin, const UnitPolicy* policy,
                RouteTable& out) const;
 

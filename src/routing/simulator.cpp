@@ -517,7 +517,7 @@ bgp::PathId Simulator::inject_private_asn(bgp::PathId id) {
 // Update stream
 // ---------------------------------------------------------------------------
 
-std::vector<OriginUnit> Simulator::policy_clusters() {
+std::vector<OriginUnit> Simulator::policy_clusters() const {
   // Merge same-origin units whose *observed paths* coincide at every
   // vantage point into one synthetic unit (prefixes concatenated). Such
   // prefixes share identical BGP attributes on every session, so an event

@@ -16,6 +16,12 @@
 //   sim.advance_to(24 * kHour); sim.capture();
 //   sim.advance_to(7 * kDay);   sim.capture();
 //   // sim.dataset() now holds 4 snapshots + the update stream.
+//
+// A Simulator is fully self-contained: it owns its topology, policies,
+// RNG, caches and dataset, and touches no global mutable state. Distinct
+// instances may therefore run on concurrent threads (the share-nothing
+// property core::run_sweep relies on); a single instance is not
+// thread-safe.
 #pragma once
 
 #include <cstdint>
@@ -110,7 +116,7 @@ class Simulator {
   std::uint32_t path_selection_length(bgp::PathId id);
   void inject_faults(std::uint16_t vp_index,
                      std::vector<bgp::RibRecord>& rib);
-  std::vector<OriginUnit> policy_clusters();
+  std::vector<OriginUnit> policy_clusters() const;
   bgp::PathId inject_private_asn(bgp::PathId id);
   net::IpAddress peer_address(std::uint16_t vp_index) const;
   void emit_unit_event(std::vector<bgp::UpdateRecord>& out,

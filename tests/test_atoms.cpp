@@ -186,5 +186,57 @@ TEST(Atoms, LargeGroupStressConsistency) {
   EXPECT_EQ(atoms.atoms[1].size(), 100u);
 }
 
+TEST(Atoms, MoreThan64KVantagePoints) {
+  // Regression: the packed-signature fill loop used a 16-bit VP counter,
+  // which wraps (and never terminates) once a snapshot carries more than
+  // 65535 vantage points. Build such a snapshot directly — two prefixes
+  // seen with one path at 65537 VPs must still form a single atom whose
+  // per-VP path list covers every VP.
+  constexpr std::uint32_t kVps = 65537;
+  SanitizedSnapshot snap;
+  const bgp::PathId path = snap.paths.intern(*net::AsPath::parse("100 1"));
+  snap.prefixes = {1, 2};
+  snap.vps.resize(kVps);
+  for (auto& vp : snap.vps) vp.routes = {{1, path}, {2, path}};
+
+  const auto atoms = compute_atoms(snap);
+  ASSERT_EQ(atoms.atoms.size(), 1u);
+  EXPECT_EQ(atoms.atoms[0].size(), 2u);
+  ASSERT_EQ(atoms.atoms[0].paths.size(), kVps);
+  EXPECT_EQ(atoms.atoms[0].paths.front().first, 0u);
+  EXPECT_EQ(atoms.atoms[0].paths.back().first, kVps - 1);  // not truncated
+  EXPECT_EQ(atoms.atoms[0].origin, 1u);
+}
+
+TEST(Atoms, ParallelGroupingMatchesSerial) {
+  // Enough prefixes to cross the parallel-grouping gate; 16 signature
+  // classes over 2 VPs. The sharded parallel path must reproduce the
+  // serial result field-for-field, including atom order.
+  DatasetBuilder b;
+  constexpr int kPrefixes = 5000;
+  for (int vp = 0; vp < 2; ++vp) {
+    b.peer(100 + vp);
+    for (int i = 0; i < kPrefixes; ++i) {
+      const std::string prefix = "10." + std::to_string(i / 256) + "." +
+                                 std::to_string(i % 256) + ".0/24";
+      const std::string path =
+          std::to_string(100 + vp) + " " + std::to_string(7 + i % 16) + " 1";
+      b.route(prefix, path);
+    }
+  }
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  ASSERT_GE(snap.prefixes.size(), 4096u);
+
+  AtomOptions serial, par;
+  serial.threads = 1;
+  par.threads = 4;
+  const auto a = compute_atoms(snap, serial);
+  const auto p = compute_atoms(snap, par);
+  ASSERT_EQ(a.atoms.size(), 16u);
+  EXPECT_EQ(a.atoms, p.atoms);
+  EXPECT_EQ(a.atom_of, p.atom_of);
+  EXPECT_EQ(a.atoms_by_origin, p.atoms_by_origin);
+}
+
 }  // namespace
 }  // namespace bgpatoms::core

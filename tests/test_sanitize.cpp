@@ -12,9 +12,8 @@ using test::DatasetBuilder;
 TEST(Sanitize, FullFeedInference) {
   DatasetBuilder b;
   b.collector("rrc00");
-  // Peer 1: 20 prefixes (the max). Peer 2: 19 (>90%: kept). Peer 3: 9
-  // (45%: cut). Exactly 90% would NOT qualify — the rule is strictly
-  // "more than 90% of the maximum count" (§2.4.2).
+  // Peer 1: 20 prefixes (the max). Peer 2: 19 (95% >= 90%: kept). Peer 3:
+  // 9 (45%: cut). The rule is "at least 90% of the maximum count" (§2.4).
   b.peer(100);
   for (int i = 0; i < 20; ++i) {
     b.route("10." + std::to_string(i) + ".0.0/16", "100 50");
@@ -40,7 +39,10 @@ TEST(Sanitize, FullFeedInference) {
             PeerRemovalReason::kPartialFeed);
 }
 
-TEST(Sanitize, ExactlyNinetyPercentIsNotFullFeed) {
+TEST(Sanitize, ExactlyNinetyPercentIsFullFeed) {
+  // Boundary regression (§2.4): 0.9 × 10 = 9 exactly, and a peer carrying
+  // exactly the threshold count qualifies — the rule is >=, not >. A peer
+  // one prefix short does not.
   DatasetBuilder b;
   b.peer(100);
   for (int i = 0; i < 10; ++i) {
@@ -50,10 +52,17 @@ TEST(Sanitize, ExactlyNinetyPercentIsNotFullFeed) {
   for (int i = 0; i < 9; ++i) {
     b.route("10." + std::to_string(i) + ".0.0/16", "200 50");
   }
+  b.peer(300);
+  for (int i = 0; i < 8; ++i) {
+    b.route("10." + std::to_string(i) + ".0.0/16", "300 50");
+  }
   SanitizeConfig config;
   config.min_collectors = 1;
   config.min_peer_ases = 1;
-  EXPECT_EQ(sanitize(b.dataset(), 0, config).report.full_feed_peers, 1u);
+  const auto snap = sanitize(b.dataset(), 0, config);
+  EXPECT_EQ(snap.report.full_feed_peers, 2u);
+  ASSERT_EQ(snap.report.removed_peers.size(), 1u);
+  EXPECT_EQ(snap.report.removed_peers[0].peer.asn, 300u);
 }
 
 TEST(Sanitize, FullFeedThresholdConfigurable) {

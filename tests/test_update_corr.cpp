@@ -79,6 +79,34 @@ TEST(UpdateCorr, WithdrawnPrefixesCount) {
   EXPECT_DOUBLE_EQ(corr.atom.at(2), 1.0);
 }
 
+TEST(UpdateCorr, AnnounceAndWithdrawSamePrefixCountsOnce) {
+  // Regression: a record carrying the same prefix in both the announced
+  // and withdrawn lists (withdraw/re-announce packed into one message)
+  // used to increment the touched-counts twice, so one prefix of a size-2
+  // atom looked like a full-atom update (Pr_full spuriously 1.0).
+  Fixture f = standard_fixture();
+  const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
+  std::vector<bgp::UpdateRecord> updates(1);
+  updates[0].announced = {a};
+  updates[0].withdrawn = {a};
+  const auto corr = correlate_updates(f.atoms, updates);
+  EXPECT_EQ(corr.atom.n_any[2], 1u);
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 0.0);  // one of two prefixes: partial
+}
+
+TEST(UpdateCorr, DuplicatePrefixWithinListCountsOnce) {
+  // Same dedup rule applies to repeats inside one list.
+  Fixture f = standard_fixture();
+  const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
+  const auto bb = f.ds.prefixes.find(*net::Prefix::parse("10.1.0.0/16"));
+  std::vector<bgp::UpdateRecord> updates(1);
+  updates[0].announced = {a, a};
+  updates[0].withdrawn = {bb};
+  const auto corr = correlate_updates(f.atoms, updates);
+  // Both prefixes touched exactly once each -> genuinely full.
+  EXPECT_DOUBLE_EQ(corr.atom.at(2), 1.0);
+}
+
 TEST(UpdateCorr, AsCurveCountsWholeOrigin) {
   Fixture f = standard_fixture();
   const auto a = f.ds.prefixes.find(*net::Prefix::parse("10.0.0.0/16"));
