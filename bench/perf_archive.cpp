@@ -1,30 +1,57 @@
-// Microbenchmarks for BGA archive serialization and the record reader.
+// Microbenchmarks for BGA archive serialization and the record readers:
+// v1 vs v2 write/read throughput, and the streaming reader's bounded peak
+// memory (the `peak_buffer_bytes` / `image_bytes` counters — the streaming
+// read should hold only a small fraction of the file at once).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "bgp/archive.h"
+#include "bgp/archive_reader.h"
 #include "routing/simulator.h"
+#include "stream/file_reader.h"
 #include "stream/reader.h"
 
 using namespace bgpatoms;
 
 namespace {
 
+/// A multi-snapshot campaign: RIB at t0, an hour of updates, then two more
+/// captures — so the v2 image has several snapshot sections and update
+/// chunks for the streaming benches to walk.
 const bgp::Dataset& dataset() {
   static const bgp::Dataset ds = [] {
     routing::Simulator sim(
         topo::generate_topology(topo::era_params_v4(2020.0, 0.01), 42));
     sim.capture();
     sim.emit_updates(routing::kHour);
+    sim.advance_to(2 * routing::kHour);
+    sim.capture();
+    sim.advance_to(4 * routing::kHour);
+    sim.capture();
     return std::move(sim.dataset());
   }();
   return ds;
 }
 
-void BM_ArchiveWrite(benchmark::State& state) {
+/// Temp file holding the dataset in the requested version.
+std::string archive_file(bgp::ArchiveVersion version) {
+  const auto path =
+      (std::filesystem::temp_directory_path() /
+       (version == bgp::ArchiveVersion::kV1 ? "perf_archive_v1.bga"
+                                            : "perf_archive_v2.bga"))
+          .string();
+  bgp::write_archive_file(dataset(), path, version);
+  return path;
+}
+
+void bench_write(benchmark::State& state, bgp::ArchiveVersion version) {
   const auto& ds = dataset();
   std::size_t bytes = 0;
   for (auto _ : state) {
-    const auto image = bgp::write_archive(ds);
+    const auto image = bgp::write_archive(ds, version);
     bytes = image.size();
     benchmark::DoNotOptimize(image.data());
   }
@@ -32,10 +59,19 @@ void BM_ArchiveWrite(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
   state.counters["archive_bytes"] = static_cast<double>(bytes);
 }
-BENCHMARK(BM_ArchiveWrite)->Unit(benchmark::kMillisecond);
 
-void BM_ArchiveRead(benchmark::State& state) {
-  const auto image = bgp::write_archive(dataset());
+void BM_ArchiveWriteV1(benchmark::State& state) {
+  bench_write(state, bgp::ArchiveVersion::kV1);
+}
+BENCHMARK(BM_ArchiveWriteV1)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveWriteV2(benchmark::State& state) {
+  bench_write(state, bgp::ArchiveVersion::kV2);
+}
+BENCHMARK(BM_ArchiveWriteV2)->Unit(benchmark::kMillisecond);
+
+void bench_read(benchmark::State& state, bgp::ArchiveVersion version) {
+  const auto image = bgp::write_archive(dataset(), version);
   for (auto _ : state) {
     const auto ds = bgp::read_archive(image);
     benchmark::DoNotOptimize(ds.snapshots.size());
@@ -43,7 +79,56 @@ void BM_ArchiveRead(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(image.size()));
 }
-BENCHMARK(BM_ArchiveRead)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveReadV1(benchmark::State& state) {
+  bench_read(state, bgp::ArchiveVersion::kV1);
+}
+BENCHMARK(BM_ArchiveReadV1)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveReadV2(benchmark::State& state) {
+  bench_read(state, bgp::ArchiveVersion::kV2);
+}
+BENCHMARK(BM_ArchiveReadV2)->Unit(benchmark::kMillisecond);
+
+/// Streaming read off disk, section at a time. The peak_buffer_bytes
+/// counter is the reader's transient high-water mark: for v2 it stays well
+/// below image_bytes (one section), for v1 it equals the image.
+void bench_stream_read(benchmark::State& state, bgp::ArchiveVersion version) {
+  const auto path = archive_file(version);
+  std::uint64_t peak = 0, file_bytes = 0;
+  std::size_t snaps = 0, updates = 0;
+  for (auto _ : state) {
+    bgp::ArchiveReader reader(path);
+    snaps = updates = 0;
+    while (auto snap = reader.next_snapshot()) {
+      benchmark::DoNotOptimize(snap->peers.size());
+      ++snaps;
+    }
+    while (auto chunk = reader.next_updates()) updates += chunk->size();
+    peak = reader.peak_buffer_bytes();
+    file_bytes = reader.file_bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(file_bytes));
+  state.counters["image_bytes"] = static_cast<double>(file_bytes);
+  state.counters["peak_buffer_bytes"] = static_cast<double>(peak);
+  state.counters["peak_buffer_share"] =
+      file_bytes ? static_cast<double>(peak) / static_cast<double>(file_bytes)
+                 : 0.0;
+  state.counters["snapshots"] = static_cast<double>(snaps);
+  state.counters["update_records"] = static_cast<double>(updates);
+  std::filesystem::remove(path);
+}
+
+void BM_ArchiveStreamReadV1(benchmark::State& state) {
+  bench_stream_read(state, bgp::ArchiveVersion::kV1);
+}
+BENCHMARK(BM_ArchiveStreamReadV1)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveStreamReadV2(benchmark::State& state) {
+  bench_stream_read(state, bgp::ArchiveVersion::kV2);
+}
+BENCHMARK(BM_ArchiveStreamReadV2)->Unit(benchmark::kMillisecond);
 
 void BM_StreamReader(benchmark::State& state) {
   const auto& ds = dataset();
@@ -61,6 +146,29 @@ void BM_StreamReader(benchmark::State& state) {
   state.counters["records"] = static_cast<double>(records);
 }
 BENCHMARK(BM_StreamReader)->Unit(benchmark::kMillisecond);
+
+/// End-to-end: records straight off the file through FileRecordReader.
+void BM_FileRecordReader(benchmark::State& state) {
+  const auto path = archive_file(bgp::ArchiveVersion::kV2);
+  std::size_t records = 0;
+  double peak_share = 0;
+  for (auto _ : state) {
+    stream::FileRecordReader reader(path);
+    records = 0;
+    while (auto rec = reader.next()) {
+      benchmark::DoNotOptimize(rec->prefix);
+      ++records;
+    }
+    peak_share = static_cast<double>(reader.archive().peak_buffer_bytes()) /
+                 static_cast<double>(reader.archive().file_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["peak_buffer_share"] = peak_share;
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_FileRecordReader)->Unit(benchmark::kMillisecond);
 
 void BM_PathPoolIntern(benchmark::State& state) {
   std::vector<net::AsPath> paths;

@@ -7,7 +7,7 @@
 //   bga_atoms campaign.bga --min-peers 4 --min-collectors 2
 #include <cstdio>
 
-#include "bgp/archive.h"
+#include "bgp/archive_reader.h"
 #include "cli/args.h"
 #include "core/formation.h"
 #include "core/stability.h"
@@ -57,9 +57,12 @@ int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   args.usage_if(args.positional().empty(), kUsage);
 
+  // Stream the archive in section by section (bounded peak memory for v2)
+  // and assemble the dataset the sanitizer needs.
   bgp::Dataset ds;
   try {
-    ds = bgp::read_archive_file(args.positional()[0]);
+    bgp::ArchiveReader reader(args.positional()[0]);
+    ds = reader.read_all();
   } catch (const bgp::ArchiveError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,14 +4,17 @@
 //   bga_dump campaign.bga --text           # bgpdump-style lines
 //   bga_dump campaign.bga --peers          # per-peer table statistics
 //   bga_dump campaign.bga --collector rrc00 --peer-asn 64496 --text
+//
+// All modes stream the archive through bgp::ArchiveReader: a v2 file is
+// decoded one CRC-checked section at a time, so even a multi-GB archive
+// needs only dictionary + one-section memory and --text starts printing
+// before the file tail is read.
 #include <cstdio>
-#include <iostream>
 #include <unordered_set>
 
-#include "bgp/archive.h"
-#include "bgp/textdump.h"
+#include "bgp/archive_reader.h"
 #include "cli/args.h"
-#include "stream/reader.h"
+#include "stream/file_reader.h"
 
 using namespace bgpatoms;
 
@@ -24,35 +27,48 @@ constexpr char kUsage[] =
     "  --collector <c>    restrict --text to one collector\n"
     "  --peer-asn <asn>   restrict --text to one peer AS\n";
 
-void print_summary(const bgp::Dataset& ds) {
-  std::printf("family:      IPv%d\n", ds.family == net::Family::kIPv4 ? 4 : 6);
-  std::printf("collectors:  %zu (", ds.collectors.size());
-  for (std::size_t i = 0; i < ds.collectors.size(); ++i) {
-    std::printf("%s%s", i ? ", " : "", ds.collectors[i].c_str());
+void print_summary(bgp::ArchiveReader& reader) {
+  std::printf("format:      BGA v%d\n", static_cast<int>(reader.version()));
+  std::printf("family:      IPv%d\n",
+              reader.family() == net::Family::kIPv4 ? 4 : 6);
+  std::printf("collectors:  %zu (", reader.collectors().size());
+  for (std::size_t i = 0; i < reader.collectors().size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", reader.collectors()[i].c_str());
   }
   std::printf(")\n");
-  std::printf("prefixes:    %zu distinct\n", ds.prefixes.size());
-  std::printf("paths:       %zu distinct\n", ds.paths.size());
-  std::printf("snapshots:   %zu\n", ds.snapshots.size());
-  for (const auto& snap : ds.snapshots) {
-    std::printf("  t=%lld: %zu peers, %zu records\n",
-                static_cast<long long>(snap.timestamp), snap.peers.size(),
-                bgp::Dataset::record_count(snap));
+  std::printf("prefixes:    %zu distinct\n", reader.prefixes().size());
+  std::printf("paths:       %zu distinct\n", reader.paths().size());
+
+  std::size_t nsnap = 0;
+  std::string lines;
+  while (auto snap = reader.next_snapshot()) {
+    ++nsnap;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  t=%lld: %zu peers, %zu records\n",
+                  static_cast<long long>(snap->timestamp), snap->peers.size(),
+                  bgp::Dataset::record_count(*snap));
+    lines += buf;
   }
-  std::size_t announced = 0, withdrawn = 0;
-  for (const auto& u : ds.updates) {
-    announced += u.announced.size();
-    withdrawn += u.withdrawn.size();
+  std::printf("snapshots:   %zu\n%s", nsnap, lines.c_str());
+
+  std::size_t updates = 0, announced = 0, withdrawn = 0;
+  while (auto chunk = reader.next_updates()) {
+    updates += chunk->size();
+    for (const auto& u : *chunk) {
+      announced += u.announced.size();
+      withdrawn += u.withdrawn.size();
+    }
   }
   std::printf("updates:     %zu records (%zu announcements, %zu withdrawals)\n",
-              ds.updates.size(), announced, withdrawn);
+              updates, announced, withdrawn);
 }
 
-void print_peers(const bgp::Dataset& ds) {
-  if (ds.snapshots.empty()) return;
+void print_peers(bgp::ArchiveReader& reader) {
+  const auto snap = reader.next_snapshot();
+  if (!snap) return;
   std::printf("%-12s %-18s %-14s %10s %10s %8s\n", "peer", "address",
               "collector", "records", "prefixes", "corrupt");
-  for (const auto& feed : ds.snapshots[0].peers) {
+  for (const auto& feed : snap->peers) {
     std::unordered_set<bgp::PrefixId> uniq;
     std::size_t corrupt = 0;
     for (const auto& rec : feed.records) {
@@ -61,8 +77,24 @@ void print_peers(const bgp::Dataset& ds) {
     }
     std::printf("AS%-10u %-18s %-14s %10zu %10zu %8zu\n", feed.peer.asn,
                 feed.peer.address.to_string().c_str(),
-                ds.collectors[feed.peer.collector].c_str(),
+                reader.collectors()[feed.peer.collector].c_str(),
                 feed.records.size(), uniq.size(), corrupt);
+  }
+}
+
+void print_text(const std::string& path, const stream::Filters& filters) {
+  stream::FileRecordReader reader(path, filters);
+  while (auto rec = reader.next()) {
+    const char* kind = rec->type == stream::RecordType::kRibEntry ? "B"
+                       : rec->type == stream::RecordType::kAnnouncement
+                           ? "A"
+                           : "W";
+    std::printf("%lld|%s|%s|%s|%u|%s|%s\n",
+                static_cast<long long>(rec->timestamp), kind,
+                std::string(rec->collector).c_str(),
+                rec->peer_address.to_string().c_str(), rec->peer_asn,
+                rec->prefix.to_string().c_str(),
+                rec->path ? rec->path->to_string().c_str() : "");
   }
 }
 
@@ -71,40 +103,27 @@ void print_peers(const bgp::Dataset& ds) {
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   args.usage_if(args.positional().empty(), kUsage);
+  const std::string& path = args.positional()[0];
 
-  bgp::Dataset ds;
   try {
-    ds = bgp::read_archive_file(args.positional()[0]);
+    if (args.has("text")) {
+      stream::Filters filters;
+      if (args.has("collector")) filters.collector = args.get("collector");
+      if (args.has("peer-asn")) {
+        filters.peer_asn = static_cast<net::Asn>(args.get_int("peer-asn", 0));
+      }
+      print_text(path, filters);
+      return 0;
+    }
+    bgp::ArchiveReader reader(path);
+    if (args.has("peers")) {
+      print_peers(reader);
+    } else {
+      print_summary(reader);
+    }
   } catch (const bgp::ArchiveError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-
-  if (args.has("peers")) {
-    print_peers(ds);
-    return 0;
-  }
-  if (args.has("text")) {
-    stream::Filters filters;
-    if (args.has("collector")) filters.collector = args.get("collector");
-    if (args.has("peer-asn")) {
-      filters.peer_asn = static_cast<net::Asn>(args.get_int("peer-asn", 0));
-    }
-    stream::RecordReader reader(ds, filters);
-    while (auto rec = reader.next()) {
-      const char* kind = rec->type == stream::RecordType::kRibEntry ? "B"
-                         : rec->type == stream::RecordType::kAnnouncement
-                             ? "A"
-                             : "W";
-      std::printf("%lld|%s|%s|%s|%u|%s|%s\n",
-                  static_cast<long long>(rec->timestamp), kind,
-                  std::string(rec->collector).c_str(),
-                  rec->peer_address.to_string().c_str(), rec->peer_asn,
-                  rec->prefix.to_string().c_str(),
-                  rec->path ? rec->path->to_string().c_str() : "");
-    }
-    return 0;
-  }
-  print_summary(ds);
   return 0;
 }

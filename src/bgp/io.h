@@ -118,6 +118,9 @@ class ByteReader {
     for (int shift = 0; shift < 64; shift += 7) {
       need(1);
       const std::uint8_t b = data_[pos_++];
+      // The 10th byte contributes only bit 63: any higher payload bit would
+      // silently wrap a value >= 2^64 to a small one.
+      if (shift == 63 && (b & 0x7e) != 0) throw ArchiveError("varint overflow");
       v |= std::uint64_t{b & 0x7fu} << shift;
       if ((b & 0x80) == 0) return v;
     }
@@ -148,8 +151,10 @@ class ByteReader {
   bool at_end() const { return pos_ == data_.size(); }
 
  private:
+  // `pos_ + n > size` would wrap for attacker-controlled n near 2^64 and
+  // let the check pass; pos_ <= size() is an invariant, so subtract instead.
   void need(std::uint64_t n) const {
-    if (pos_ + n > data_.size()) throw ArchiveError("truncated archive");
+    if (n > data_.size() - pos_) throw ArchiveError("truncated archive");
   }
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

@@ -41,8 +41,12 @@ StabilityResult stability(const AtomSet& t1, const AtomSet& t2) {
   // the largest intersection.
   std::vector<std::uint32_t> order(t1.atoms.size());
   std::iota(order.begin(), order.end(), 0);
+  // Tie-break equal sizes by atom index: std::sort is unstable, so without
+  // it the greedy claim order — and the MPM value — would depend on the
+  // standard library, breaking bit-identical determinism across platforms.
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return t1.atoms[a].size() > t1.atoms[b].size();
+    const std::size_t sa = t1.atoms[a].size(), sb = t1.atoms[b].size();
+    return sa != sb ? sa > sb : a < b;
   });
 
   std::vector<char> taken(t2.atoms.size(), 0);

@@ -9,9 +9,7 @@ RecordReader::RecordReader(const bgp::Dataset& ds, Filters filters)
 
 bool RecordReader::match_common(std::string_view collector,
                                 net::Asn peer) const {
-  if (filters_.collector && collector != *filters_.collector) return false;
-  if (filters_.peer_asn && peer != *filters_.peer_asn) return false;
-  return true;
+  return filters_match(filters_, collector, peer);
 }
 
 std::optional<Record> RecordReader::next() {

@@ -48,6 +48,14 @@ struct Filters {
   bool include_updates = true;
 };
 
+/// Collector/peer predicate shared by the in-memory and streaming readers.
+inline bool filters_match(const Filters& f, std::string_view collector,
+                          net::Asn peer) {
+  if (f.collector && collector != *f.collector) return false;
+  if (f.peer_asn && peer != *f.peer_asn) return false;
+  return true;
+}
+
 class RecordReader {
  public:
   /// Iterates `ds`; the dataset must outlive the reader.

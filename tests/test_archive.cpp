@@ -1,10 +1,12 @@
-// Round-trip and corruption tests for the BGA archive format.
+// Round-trip and corruption tests for the BGA archive format (v1 and v2)
+// and the streaming ArchiveReader.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 
 #include "bgp/archive.h"
+#include "bgp/archive_reader.h"
 
 namespace bgpatoms::bgp {
 namespace {
@@ -81,8 +83,29 @@ void expect_equal(const Dataset& x, const Dataset& y) {
 TEST(Archive, RoundTrip) {
   const Dataset ds = make_dataset();
   const auto image = write_archive(ds);
+  ASSERT_GE(image.size(), 4u);
+  EXPECT_EQ(image[3], '2');  // v2 is the default wire format
   const Dataset back = read_archive(image);
   expect_equal(ds, back);
+}
+
+TEST(Archive, V1RoundTripByteIdentical) {
+  // Archives written before the v2 format existed must keep decoding, and
+  // re-encoding as v1 must reproduce them bit for bit.
+  const Dataset ds = make_dataset();
+  const auto v1 = write_archive(ds, ArchiveVersion::kV1);
+  ASSERT_GE(v1.size(), 4u);
+  EXPECT_EQ(v1[3], '1');
+  const Dataset back = read_archive(v1);
+  expect_equal(ds, back);
+  EXPECT_EQ(write_archive(back, ArchiveVersion::kV1), v1);
+}
+
+TEST(Archive, V1AndV2DecodeIdentically) {
+  const Dataset ds = make_dataset();
+  const Dataset from_v1 = read_archive(write_archive(ds, ArchiveVersion::kV1));
+  const Dataset from_v2 = read_archive(write_archive(ds, ArchiveVersion::kV2));
+  expect_equal(from_v1, from_v2);
 }
 
 TEST(Archive, RoundTripEmptyDataset) {
@@ -96,21 +119,27 @@ TEST(Archive, RoundTripEmptyDataset) {
 }
 
 TEST(Archive, DetectsBitFlip) {
-  auto image = write_archive(make_dataset());
-  for (std::size_t pos : {std::size_t{5}, image.size() / 2}) {
-    auto corrupted = image;
-    corrupted[pos] ^= 0x40;
-    EXPECT_THROW(read_archive(corrupted), ArchiveError) << "pos " << pos;
+  for (ArchiveVersion v : {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    auto image = write_archive(make_dataset(), v);
+    for (std::size_t pos : {std::size_t{4}, std::size_t{5}, image.size() / 2,
+                            image.size() - 1}) {
+      auto corrupted = image;
+      corrupted[pos] ^= 0x40;
+      EXPECT_THROW(read_archive(corrupted), ArchiveError)
+          << "v" << static_cast<int>(v) << " pos " << pos;
+    }
   }
 }
 
 TEST(Archive, DetectsTruncation) {
-  const auto image = write_archive(make_dataset());
-  EXPECT_THROW(read_archive(std::span<const std::uint8_t>(
-                   image.data(), image.size() - 1)),
-               ArchiveError);
-  EXPECT_THROW(read_archive(std::span<const std::uint8_t>(image.data(), 4)),
-               ArchiveError);
+  for (ArchiveVersion v : {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    const auto image = write_archive(make_dataset(), v);
+    EXPECT_THROW(read_archive(std::span<const std::uint8_t>(
+                     image.data(), image.size() - 1)),
+                 ArchiveError);
+    EXPECT_THROW(read_archive(std::span<const std::uint8_t>(image.data(), 4)),
+                 ArchiveError);
+  }
 }
 
 TEST(Archive, DetectsBadMagic) {
@@ -120,7 +149,7 @@ TEST(Archive, DetectsBadMagic) {
 }
 
 TEST(Archive, DetectsTrailingBytes) {
-  auto image = write_archive(make_dataset());
+  auto image = write_archive(make_dataset(), ArchiveVersion::kV1);
   // Valid CRC over body, then append 4 bytes of a bogus second CRC: strip
   // the real CRC, add a byte, recompute — reader must reject trailing data.
   std::vector<std::uint8_t> body(image.begin(), image.end() - 4);
@@ -131,6 +160,12 @@ TEST(Archive, DetectsTrailingBytes) {
     body.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
   }
   EXPECT_THROW(read_archive(body), ArchiveError);
+}
+
+TEST(Archive, DetectsTrailingBytesAfterV2EndSection) {
+  auto image = write_archive(make_dataset(), ArchiveVersion::kV2);
+  image.push_back(0);
+  EXPECT_THROW(read_archive(image), ArchiveError);
 }
 
 TEST(Archive, FileRoundTrip) {
@@ -165,6 +200,135 @@ TEST(Archive, V6AddressesSurvive) {
   EXPECT_EQ(back.snapshots[0].peers[0].peer.address,
             net::IpAddress::v6(0x20010db8feed0000ULL, 7));
   EXPECT_EQ(back.prefixes.get(0), *net::Prefix::parse("2001:db8::/32"));
+}
+
+// --- streaming ArchiveReader ------------------------------------------------
+
+/// make_dataset() plus a second snapshot, so the snapshot run is > 1.
+Dataset make_two_snapshot_dataset() {
+  Dataset ds = make_dataset();
+  Snapshot snap2;
+  snap2.timestamp = 1073980800;
+  PeerFeed feed;
+  feed.peer = {64496, net::IpAddress::v4(0xC6120001u), 0};
+  feed.records.push_back({0, 1, 0, RecordStatus::kValid});
+  snap2.peers.push_back(std::move(feed));
+  ds.snapshots.push_back(std::move(snap2));
+  return ds;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::filesystem::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ArchiveReader, StreamsSnapshotsThenUpdates) {
+  const Dataset ds = make_two_snapshot_dataset();
+  const TempFile file("bga_reader_v2.bga");
+  write_archive_file(ds, file.path());
+
+  ArchiveReader reader(file.path());
+  EXPECT_EQ(reader.version(), ArchiveVersion::kV2);
+  EXPECT_EQ(reader.collectors(), ds.collectors);
+  EXPECT_EQ(reader.prefixes().size(), ds.prefixes.size());
+
+  std::size_t nsnap = 0;
+  while (auto snap = reader.next_snapshot()) {
+    EXPECT_EQ(snap->timestamp, ds.snapshots[nsnap].timestamp);
+    ++nsnap;
+  }
+  EXPECT_EQ(nsnap, ds.snapshots.size());
+
+  std::vector<UpdateRecord> updates;
+  while (auto chunk = reader.next_updates()) {
+    updates.insert(updates.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(updates, ds.updates);
+
+  // The transient decode buffer never held the whole file.
+  EXPECT_LT(reader.peak_buffer_bytes(), reader.file_bytes());
+}
+
+TEST(ArchiveReader, ReadAllMatchesDataset) {
+  const Dataset ds = make_two_snapshot_dataset();
+  for (ArchiveVersion v : {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+    const TempFile file("bga_reader_all.bga");
+    write_archive_file(ds, file.path(), v);
+    ArchiveReader reader(file.path());
+    EXPECT_EQ(reader.version(), v);
+    expect_equal(ds, reader.read_all());
+  }
+}
+
+TEST(ArchiveReader, UpdatesBeforeSnapshotsDrainedThrows) {
+  const Dataset ds = make_two_snapshot_dataset();
+  const TempFile file("bga_reader_order.bga");
+  write_archive_file(ds, file.path());
+  ArchiveReader reader(file.path());
+  EXPECT_THROW(reader.next_updates(), ArchiveError);
+}
+
+TEST(ArchiveReader, V1FileStreamsIdentically) {
+  const Dataset ds = make_two_snapshot_dataset();
+  const TempFile file("bga_reader_v1.bga");
+  write_archive_file(ds, file.path(), ArchiveVersion::kV1);
+  ArchiveReader reader(file.path());
+  EXPECT_EQ(reader.version(), ArchiveVersion::kV1);
+  std::size_t nsnap = 0;
+  while (auto snap = reader.next_snapshot()) {
+    EXPECT_EQ(snap->peers.size(), ds.snapshots[nsnap].peers.size());
+    ++nsnap;
+  }
+  EXPECT_EQ(nsnap, ds.snapshots.size());
+  std::vector<UpdateRecord> updates;
+  while (auto chunk = reader.next_updates()) {
+    updates.insert(updates.end(), chunk->begin(), chunk->end());
+  }
+  EXPECT_EQ(updates, ds.updates);
+}
+
+TEST(ArchiveReader, LargeUpdateStreamSplitsIntoChunks) {
+  // > one chunk of updates: the reader must reassemble the stream in order
+  // and the per-chunk timestamp delta restart must be invisible.
+  Dataset ds;
+  ds.family = net::Family::kIPv4;
+  ds.collectors = {"rrc00"};
+  const PrefixId p = ds.prefixes.intern(*net::Prefix::parse("10.0.0.0/8"));
+  const PathId path = ds.paths.intern(net::AsPath::sequence({64496, 3356}));
+  const std::size_t n = (1u << 16) + 1000;  // kUpdatesPerChunk + some
+  ds.updates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    UpdateRecord u;
+    u.timestamp = static_cast<Timestamp>(1000 + i);
+    u.path = path;
+    u.announced = {p};
+    ds.updates.push_back(std::move(u));
+  }
+  const TempFile file("bga_reader_chunks.bga");
+  write_archive_file(ds, file.path());
+
+  ArchiveReader reader(file.path());
+  while (reader.next_snapshot()) {
+  }
+  std::size_t chunks = 0, total = 0;
+  Timestamp prev = INT64_MIN;
+  while (auto chunk = reader.next_updates()) {
+    ++chunks;
+    for (const auto& u : *chunk) {
+      EXPECT_GE(u.timestamp, prev);
+      prev = u.timestamp;
+      ++total;
+    }
+  }
+  EXPECT_GE(chunks, 2u);
+  EXPECT_EQ(total, n);
+  EXPECT_LT(reader.peak_buffer_bytes(), reader.file_bytes());
 }
 
 }  // namespace

@@ -171,6 +171,62 @@ TEST(Stability, EmptyFirstSnapshot) {
   EXPECT_EQ(r.atoms_t1, 0u);
 }
 
+/// Hand-built AtomSet: stability() only touches atoms, sizes, and atom_of.
+AtomSet make_atoms(std::vector<std::vector<bgp::PrefixId>> groups) {
+  AtomSet s;
+  for (std::uint32_t i = 0; i < groups.size(); ++i) {
+    Atom a;
+    a.prefixes = std::move(groups[i]);
+    for (bgp::PrefixId p : a.prefixes) s.atom_of[p] = i;
+    s.atoms.push_back(std::move(a));
+  }
+  return s;
+}
+
+TEST(Stability, MpmTieBreaksEqualSizeAtomsByIndex) {
+  // Regression: the greedy MPM pass sorts t1 atoms largest-first with
+  // std::sort, which is unstable — equal-size atoms could be visited in a
+  // platform-dependent order, changing the MPM value across standard
+  // libraries. The tie-break is by atom index, so here atom 0 must claim
+  // first even though atom 1 has the same size.
+  //
+  // t1: X={0,1} (index 0), Y={2,3} (index 1); t2: P={0,1,2}, Q={3}.
+  // X first: X claims P (overlap 2), Y claims Q (overlap 1) -> 3/4.
+  // Y first would leave X unmatched -> 1/4. Index order demands 3/4.
+  const AtomSet t1 = make_atoms({{0, 1}, {2, 3}});
+  const AtomSet t2 = make_atoms({{0, 1, 2}, {3}});
+  const auto r = stability(t1, t2);
+  EXPECT_EQ(r.prefixes_matched, 3u);
+  EXPECT_NEAR(r.mpm, 3.0 / 4.0, 1e-12);
+}
+
+TEST(Stability, MpmDeterministicWithManyEqualSizeAtoms) {
+  // A long run of equal-size atoms where every claim conflicts with the
+  // next atom's best choice: the result is only well-defined under the
+  // index tie-break, and repeated evaluation must be bit-identical.
+  //
+  // t1 atom i = {2i, 2i+1}; t2 atom i = {2i+1, 2i+2} (a one-prefix shift).
+  // Under index order, t1 atom i claims t2 atom i (overlap 1 via 2i+1;
+  // candidates i-1 and i tie at overlap 1 once i-1 is taken, and the lower
+  // index wins first). Every t1 atom matches exactly one prefix.
+  constexpr std::uint32_t kAtoms = 64;
+  std::vector<std::vector<bgp::PrefixId>> g1, g2;
+  for (std::uint32_t i = 0; i < kAtoms; ++i) {
+    g1.push_back({2 * i, 2 * i + 1});
+    g2.push_back({2 * i + 1, 2 * i + 2});
+  }
+  const AtomSet t1 = make_atoms(std::move(g1));
+  const AtomSet t2 = make_atoms(std::move(g2));
+  const auto first = stability(t1, t2);
+  EXPECT_EQ(first.prefixes_matched, kAtoms);
+  EXPECT_NEAR(first.mpm, 0.5, 1e-12);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto again = stability(t1, t2);
+    EXPECT_EQ(again.prefixes_matched, first.prefixes_matched);
+    EXPECT_EQ(again.mpm, first.mpm);
+  }
+}
+
 TEST(Stability, MetricsAreDirectional) {
   // CAM(t1,t2) != CAM(t2,t1) in general (denominator is |A_t1|).
   const auto p = make_pair(

@@ -1,7 +1,11 @@
-// Tests for the BGPStream-like record reader.
+// Tests for the BGPStream-like record reader, in-memory and streaming.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "bgp/archive.h"
 #include "routing/simulator.h"
+#include "stream/file_reader.h"
 #include "stream/reader.h"
 
 namespace bgpatoms::stream {
@@ -174,6 +178,114 @@ TEST(RecordReader, WorksOverSimulatedDataset) {
   }
   EXPECT_EQ(ann, expected_ann);
   EXPECT_EQ(wd, expected_wd);
+}
+
+// --- FileRecordReader: streaming must match the in-memory reader ------------
+
+std::vector<Record> drain_file(FileRecordReader& reader) {
+  std::vector<Record> out;
+  while (auto rec = reader.next()) out.push_back(*rec);
+  return out;
+}
+
+/// Same record stream, field by field. Record has views/pointers, so
+/// compare the resolved values.
+void expect_same_records(const std::vector<Record>& mem,
+                         const std::vector<Record>& file) {
+  ASSERT_EQ(mem.size(), file.size());
+  for (std::size_t i = 0; i < mem.size(); ++i) {
+    EXPECT_EQ(mem[i].type, file[i].type) << "record " << i;
+    EXPECT_EQ(mem[i].timestamp, file[i].timestamp) << "record " << i;
+    EXPECT_EQ(mem[i].collector, file[i].collector) << "record " << i;
+    EXPECT_EQ(mem[i].peer_asn, file[i].peer_asn) << "record " << i;
+    EXPECT_EQ(mem[i].peer_address, file[i].peer_address) << "record " << i;
+    EXPECT_EQ(mem[i].prefix, file[i].prefix) << "record " << i;
+    EXPECT_EQ(mem[i].path == nullptr, file[i].path == nullptr) << i;
+    if (mem[i].path && file[i].path) {
+      EXPECT_EQ(*mem[i].path, *file[i].path) << "record " << i;
+    }
+    EXPECT_TRUE(std::equal(mem[i].communities.begin(),
+                           mem[i].communities.end(),
+                           file[i].communities.begin(),
+                           file[i].communities.end()))
+        << "record " << i;
+    EXPECT_EQ(mem[i].status, file[i].status) << "record " << i;
+  }
+}
+
+class StreamTempFile {
+ public:
+  StreamTempFile(const bgp::Dataset& ds, bgp::ArchiveVersion v)
+      : path_((std::filesystem::temp_directory_path() /
+               (v == bgp::ArchiveVersion::kV1 ? "stream_v1.bga"
+                                              : "stream_v2.bga"))
+                  .string()) {
+    bgp::write_archive_file(ds, path_, v);
+  }
+  ~StreamTempFile() { std::filesystem::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FileRecordReader, MatchesInMemoryReaderBothVersions) {
+  Fixture f;
+  RecordReader mem_reader(f.ds);
+  const auto mem = drain(mem_reader);
+  for (auto v : {bgp::ArchiveVersion::kV1, bgp::ArchiveVersion::kV2}) {
+    const StreamTempFile file(f.ds, v);
+    FileRecordReader reader(file.path());
+    expect_same_records(mem, drain_file(reader));
+    EXPECT_EQ(reader.count(), mem_reader.count());
+  }
+}
+
+TEST(FileRecordReader, FiltersMatchInMemoryReader) {
+  Fixture f;
+  const StreamTempFile file(f.ds, bgp::ArchiveVersion::kV2);
+
+  std::vector<Filters> cases;
+  cases.push_back({});
+  cases.emplace_back();
+  cases.back().collector = "rrc00";
+  cases.emplace_back();
+  cases.back().peer_asn = 64497;
+  cases.emplace_back();
+  cases.back().prefix_within = *net::Prefix::parse("8.8.0.0/16");
+  cases.emplace_back();
+  cases.back().time_begin = 1100;
+  cases.back().time_end = 1150;
+  cases.emplace_back();
+  cases.back().include_rib = false;
+  cases.emplace_back();
+  cases.back().include_updates = false;
+
+  for (const auto& filters : cases) {
+    RecordReader mem_reader(f.ds, filters);
+    FileRecordReader file_reader(file.path(), filters);
+    expect_same_records(drain(mem_reader), drain_file(file_reader));
+  }
+}
+
+TEST(FileRecordReader, WorksOverSimulatedDataset) {
+  routing::Simulator sim(
+      topo::generate_topology(topo::era_params_v4(2005.0, 0.02), 7));
+  sim.capture();
+  sim.emit_updates(routing::kHour);
+  const auto& ds = sim.dataset();
+
+  RecordReader mem_reader(ds);
+  const auto mem = drain(mem_reader);
+  const StreamTempFile file(ds, bgp::ArchiveVersion::kV2);
+  FileRecordReader reader(file.path());
+  expect_same_records(mem, drain_file(reader));
+  EXPECT_LT(reader.archive().peak_buffer_bytes(),
+            reader.archive().file_bytes());
+}
+
+TEST(FileRecordReader, MissingFileThrows) {
+  EXPECT_THROW(FileRecordReader("/nonexistent/not.bga"), bgp::ArchiveError);
 }
 
 }  // namespace
