@@ -1,85 +1,6 @@
-// Ablation: what each §2.4 sanitization step contributes.
-//
-// The headline number is the paper's Appendix A8.3.2 observation: keeping
-// the private-ASN-injecting peer (AS25885-style) inflates the atom count
-// by roughly 30%. The other rows disable one pipeline stage at a time and
-// report the resulting atom statistics.
-#include "core/stats.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/ablation_sanitizer.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-struct Variant {
-  const char* name;
-  core::SanitizeConfig config;
-};
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Ablation", "Contribution of each sanitization step (era 2021)");
-  const double scale = 0.03 * mult;
-  note_scale(scale);
-
-  // 2021: the ADD-PATH-broken peers AND the private-ASN injector are live.
-  core::CampaignConfig base;
-  base.year = 2021.5;
-  base.scale = scale;
-  base.seed = 42;
-  const auto campaign = core::run_campaign(base);
-  const auto& ds = campaign.sim->dataset();
-
-  std::vector<Variant> variants;
-  variants.push_back({"full pipeline (baseline)", {}});
-  {
-    core::SanitizeConfig c;
-    c.remove_abnormal_peers = false;
-    variants.push_back({"keep abnormal peers", c});
-  }
-  {
-    core::SanitizeConfig c;
-    c.full_feed_only = false;
-    variants.push_back({"keep partial feeds", c});
-  }
-  {
-    core::SanitizeConfig c;
-    c.filter_prefixes = false;
-    variants.push_back({"no visibility filter", c});
-  }
-  {
-    core::SanitizeConfig c;
-    c.max_prefix_length = 128;
-    variants.push_back({"no length filter", c});
-  }
-
-  std::printf("  %-28s %10s %10s %10s %10s\n", "variant", "peers", "prefixes",
-              "atoms", "mean size");
-  double baseline_atoms = 0;
-  double abnormal_atoms = 0;
-  for (const auto& v : variants) {
-    const auto snap = core::sanitize(ds, 0, v.config);
-    const auto atoms = core::compute_atoms(snap);
-    const auto stats = core::general_stats(atoms);
-    std::printf("  %-28s %10zu %10zu %10zu %10.2f\n", v.name,
-                snap.report.full_feed_peers, stats.prefixes, stats.atoms,
-                stats.mean_atom_size);
-    if (std::string(v.name).find("baseline") != std::string::npos) {
-      baseline_atoms = static_cast<double>(stats.atoms);
-    }
-    if (std::string(v.name).find("abnormal") != std::string::npos) {
-      abnormal_atoms = static_cast<double>(stats.atoms);
-    }
-  }
-
-  std::printf("\nAppendix A8.3.2 check: keeping the AS65000-injecting peer\n"
-              "inflates the atom count by ~30%% in the paper; sim: +%s\n",
-              baseline_atoms > 0
-                  ? pct(abnormal_atoms / baseline_atoms - 1.0).c_str()
-                  : "-");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("ablation_sanitizer"); }

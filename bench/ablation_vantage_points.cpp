@@ -1,59 +1,6 @@
-// Ablation: how vantage-point coverage shapes the atom structure (§4.5:
-// "each full-feed peer contributes their own view of the Internet, which
-// helps us to capture more diverse routing policies").
-//
-// Atoms computed from k peers can only coarsen as k shrinks (a refinement
-// property the test suite proves); this bench quantifies the curve.
-#include "core/stats.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/ablation_vps.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-#include "bgp/archive.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Ablation", "Atom count vs number of vantage points (2024 era)");
-  const double scale = 0.02 * mult;
-  note_scale(scale);
-
-  core::CampaignConfig config;
-  config.year = 2024.75;
-  config.scale = scale;
-  config.seed = 42;
-  const auto campaign = core::run_campaign(config);
-  const auto& full_ds = campaign.sim->dataset();
-  const std::size_t total_peers = full_ds.snapshots[0].peers.size();
-
-  std::printf("  %-14s %10s %10s %12s %14s\n", "peer sessions", "full-feed",
-              "atoms", "atoms/AS", "mean atom size");
-  core::SanitizeConfig lax;  // keep visibility thresholds achievable at low k
-  lax.min_collectors = 1;
-  lax.min_peer_ases = 1;
-
-  double last_atoms = 0;
-  bool monotone = true;
-  for (std::size_t k : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul, total_peers}) {
-    if (k > total_peers) break;
-    // Truncate the peer set (archive round-trip keeps pool ids aligned).
-    bgp::Dataset ds = bgp::read_archive(bgp::write_archive(full_ds));
-    ds.snapshots[0].peers.resize(k);
-    const auto snap = core::sanitize(ds, 0, lax);
-    const auto atoms = core::compute_atoms(snap);
-    const auto stats = core::general_stats(atoms);
-    std::printf("  %-14zu %10zu %10zu %12.2f %14.2f\n", k,
-                snap.report.full_feed_peers, stats.atoms,
-                stats.ases ? static_cast<double>(stats.atoms) / stats.ases : 0,
-                stats.mean_atom_size);
-    if (static_cast<double>(stats.atoms) < last_atoms - 0.5) monotone = false;
-    last_atoms = static_cast<double>(stats.atoms);
-  }
-
-  std::printf("\nShape checks (§4.5):\n");
-  std::printf("  more vantage points -> more (never fewer) atoms: %s\n",
-              monotone ? "yes" : "NO");
-  std::printf("  single-VP view hides most policy diversity (atoms at k=1 "
-              "far below full view)\n");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("ablation_vps"); }

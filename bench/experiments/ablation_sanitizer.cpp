@@ -1,0 +1,100 @@
+// Ablation: what each §2.4 sanitization step contributes.
+//
+// The headline number is the paper's Appendix A8.3.2 observation: keeping
+// the private-ASN-injecting peer (AS25885-style) inflates the atom count
+// by roughly 30%. The other rows disable one pipeline stage at a time and
+// report the resulting atom statistics.
+#include <string>
+
+#include "core/sanitize.h"
+#include "core/stats.h"
+#include "experiments/common.h"
+#include "experiments/experiments.h"
+
+namespace bgpatoms::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  core::SanitizeConfig config;
+};
+
+void run(Context& ctx) {
+  const double scale = ctx.scale(0.03);
+  ctx.note_scale(scale);
+
+  // 2021: the ADD-PATH-broken peers AND the private-ASN injector are live.
+  core::CampaignConfig base;
+  base.year = 2021.5;
+  base.scale = scale;
+  base.seed = ctx.seed(42);
+  const auto& campaign = ctx.campaign(base);
+  const auto& ds = campaign.sim->dataset();
+
+  std::vector<Variant> variants;
+  variants.push_back({"full pipeline (baseline)", {}});
+  {
+    core::SanitizeConfig c;
+    c.remove_abnormal_peers = false;
+    variants.push_back({"keep abnormal peers", c});
+  }
+  {
+    core::SanitizeConfig c;
+    c.full_feed_only = false;
+    variants.push_back({"keep partial feeds", c});
+  }
+  {
+    core::SanitizeConfig c;
+    c.filter_prefixes = false;
+    variants.push_back({"no visibility filter", c});
+  }
+  {
+    core::SanitizeConfig c;
+    c.max_prefix_length = 128;
+    variants.push_back({"no length filter", c});
+  }
+
+  auto& table = ctx.add_table(
+      "variants", "",
+      {"variant", "peers", "prefixes", "atoms", "mean size"});
+  double baseline_atoms = 0, abnormal_atoms = 0, partial_mean = 0;
+  for (const auto& v : variants) {
+    const auto snap = core::sanitize(ds, 0, v.config);
+    const auto atoms = core::compute_atoms(snap);
+    const auto stats = core::general_stats(atoms);
+    table.add_row({v.name, std::to_string(snap.report.full_feed_peers),
+                   std::to_string(stats.prefixes),
+                   std::to_string(stats.atoms),
+                   num(stats.mean_atom_size)});
+    if (std::string(v.name).find("baseline") != std::string::npos) {
+      baseline_atoms = static_cast<double>(stats.atoms);
+    }
+    if (std::string(v.name).find("abnormal") != std::string::npos) {
+      abnormal_atoms = static_cast<double>(stats.atoms);
+    }
+    if (std::string(v.name).find("partial") != std::string::npos) {
+      partial_mean = stats.mean_atom_size;
+    }
+  }
+
+  const double inflation =
+      baseline_atoms > 0 ? abnormal_atoms / baseline_atoms - 1.0 : 0.0;
+  ctx.add_metric("abnormal_peer_atom_inflation", inflation,
+                 "paper Appendix A8.3.2: ~30%");
+  ctx.add_check(Check::greater(
+      "keeping abnormal peers inflates the atom count (>10%)", inflation,
+      0.10, "+" + pct(inflation), "paper ~30%"));
+  ctx.add_check(Check::less(
+      "keeping partial feeds collapses atoms to single prefixes",
+      partial_mean, 1.1, "mean atom size " + num(partial_mean),
+      "partial views shatter atoms"));
+}
+
+}  // namespace
+
+void register_ablation_sanitizer(Registry& registry) {
+  registry.add({"ablation_sanitizer", "§2.4", "Ablation (sanitizer)",
+                "Contribution of each sanitization step (era 2021)", run});
+}
+
+}  // namespace bgpatoms::bench

@@ -1,30 +1,23 @@
-// Shared daily-split campaign for Figures 6, 7 and 16 (§4.4.1): daily
-// snapshots, split detection over sliding (t, t+1, t+2) windows, observer
-// counting per event.
-#pragma once
+#include "experiments/daily_splits.h"
 
+#include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
-#include "bench_util.h"
+#include "core/atoms.h"
+#include "core/sanitize.h"
 #include "core/splits.h"
+#include "routing/simulator.h"
+#include "topo/era.h"
+#include "topo/topology.h"
 
 namespace bgpatoms::bench {
+namespace {
 
-struct DailySplitCampaign {
-  /// Per day (starting at day index 2): observer count of each split event.
-  std::vector<std::vector<std::size_t>> observers_per_day;
-  /// ASN of the single observer for 1-observer events, per day.
-  std::vector<std::vector<net::Asn>> single_observer_asn_per_day;
-
-  std::size_t total_events() const {
-    std::size_t n = 0;
-    for (const auto& day : observers_per_day) n += day.size();
-    return n;
-  }
-};
-
-inline DailySplitCampaign run_daily_splits(int days, double scale,
-                                           std::uint64_t seed) {
+DailySplitCampaign compute(int days, double scale, std::uint64_t seed) {
   routing::SimOptions opt;
   opt.seed = seed;
   opt.weekly_churn = false;
@@ -67,6 +60,30 @@ inline DailySplitCampaign run_daily_splits(int days, double scale,
     }
   }
   return out;
+}
+
+}  // namespace
+
+const DailySplitCampaign& run_daily_splits(int days, double scale,
+                                           std::uint64_t seed) {
+  using Key = std::tuple<int, std::uint64_t, std::uint64_t>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<DailySplitCampaign>> memo;
+
+  std::uint64_t scale_bits = 0;
+  std::memcpy(&scale_bits, &scale, sizeof scale_bits);
+  const Key key{days, scale_bits, seed};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return *it->second;
+  }
+  auto fresh = std::make_unique<DailySplitCampaign>(
+      compute(days, scale, seed));
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = memo[key];
+  if (!slot) slot = std::move(fresh);
+  return *slot;
 }
 
 }  // namespace bgpatoms::bench

@@ -1,0 +1,55 @@
+// Figure 13 (Appendix A8.2): number of inferred full-feed peers, 2004-2024.
+#include <cmath>
+
+#include "experiments/common.h"
+#include "experiments/experiments.h"
+
+namespace bgpatoms::bench {
+namespace {
+
+void run(Context& ctx) {
+  const double scale = ctx.scale(0.01);
+  ctx.note_scale(scale);
+
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
+    core::SweepJob job;
+    job.config.year = year;
+    job.config.scale = scale;
+    job.config.seed = ctx.seed(6000 + static_cast<int>(year));
+    jobs.push_back(job);
+  }
+  const auto metrics = ctx.run_sweep(jobs);
+
+  auto& table = ctx.add_table(
+      "peers", "",
+      {"year", "peer sessions", "full-feed", "scale-normalized"});
+  double first = 0, last = 0;
+  for (const auto& m : metrics) {
+    // Peers scale with sqrt(scale) in the era model (see era.cpp).
+    const double normalized =
+        static_cast<double>(m.full_feed_peers) / std::sqrt(scale);
+    table.add_row({fmt("%.0f", m.year), std::to_string(m.peers_in),
+                   std::to_string(m.full_feed_peers),
+                   fmt("%.0f", normalized)});
+    if (first == 0) first = static_cast<double>(m.full_feed_peers);
+    last = static_cast<double>(m.full_feed_peers);
+  }
+
+  const double growth = first > 0 ? last / first : 0.0;
+  ctx.add_metric("full_feed_peer_growth", growth,
+                 "paper <50 -> ~600 (>10x)");
+  ctx.add_check(Check::greater(
+      "full-feed peer count grows strongly over the period", growth, 2.0,
+      fmt("%.1f", growth) + "x",
+      "paper >10x; reduced scale compresses the ratio"));
+}
+
+}  // namespace
+
+void register_fig13(Registry& registry) {
+  registry.add({"fig13", "§A8.2", "Figure 13",
+                "Number of full-feed peers over time", run});
+}
+
+}  // namespace bgpatoms::bench

@@ -1,0 +1,37 @@
+#include "experiments/shim.h"
+
+#include <cstdio>
+#include <exception>
+
+#include "experiments/experiments.h"
+#include "report/experiment.h"
+#include "report/options.h"
+#include "report/render.h"
+
+namespace bgpatoms::bench {
+
+int run_shim(const char* id, bool strict) {
+  using report::Registry;
+  Registry registry;
+  register_all_experiments(registry);
+  const auto* experiment = registry.find(id);
+  if (!experiment) {
+    std::fprintf(stderr, "unknown experiment id '%s'\n", id);
+    return 1;
+  }
+  report::RunOptions options;
+  try {
+    options = report::resolve_run_options();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  options.strict_checks = strict;
+  const auto report = report::run_experiments({experiment}, options);
+  for (const auto& result : report.experiments) {
+    report::render(result, stdout);
+  }
+  return strict && !report.passed() ? 1 : 0;
+}
+
+}  // namespace bgpatoms::bench

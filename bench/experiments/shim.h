@@ -1,0 +1,17 @@
+// Entry point for the thin per-figure binaries that keep the historical
+// bench/<figure> workflow alive: each old binary is now `return
+// run_shim("figNN");`. The shim resolves the same env knobs as bga_bench
+// (BGPATOMS_SCALE/SEED/THREADS), runs the one experiment through the
+// shared report layer, and renders the same text a `bga_bench --filter
+// <id>` run would.
+#pragma once
+
+namespace bgpatoms::bench {
+
+/// Runs the single experiment `id` with env-resolved options and renders
+/// it to stdout. Returns the process exit code: 0 on success, 1 when the
+/// id is unknown, the options are invalid, or (`strict` only) a shape
+/// check failed.
+int run_shim(const char* id, bool strict = false);
+
+}  // namespace bgpatoms::bench

@@ -1,44 +1,6 @@
-// Extra validation: the paper's data-quality side claims over 2004-2024.
-//   §2.4.3 — MOAS prefixes stay consistently below 5% of the table.
-//   §2.4.4 — paths containing AS_SETs stay below 1%.
-// Also reports the share of prefixes the visibility filter removes.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/extra_quality.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Extra", "Data-quality trends: MOAS share, AS_SET share, filtering");
-  const double scale = 0.01 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::SweepJob job;
-    job.config.year = year;
-    job.config.scale = scale;
-    job.config.seed = 7000 + static_cast<int>(year);
-    jobs.push_back(job);
-  }
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-
-  std::printf("  %-7s %12s %14s %18s\n", "year", "MOAS share",
-              "AS_SET paths", "visibility-dropped");
-  double max_moas = 0, max_asset = 0;
-  for (const auto& m : metrics) {
-    std::printf("  %-7.0f %12s %14s %18s\n", m.year,
-                pct(m.stats.moas_prefix_share, 2).c_str(),
-                pct(m.asset_path_share, 2).c_str(),
-                pct(m.visibility_dropped_share, 2).c_str());
-    max_moas = std::max(max_moas, m.stats.moas_prefix_share);
-    max_asset = std::max(max_asset, m.asset_path_share);
-  }
-
-  std::printf("\nClaim checks:\n");
-  std::printf("  MOAS consistently below 5%% (§2.4.3): %s (max %s)\n",
-              max_moas < 0.05 ? "yes" : "NO", pct(max_moas, 2).c_str());
-  std::printf("  AS_SET paths below 1%% (§2.4.4):      %s (max %s)\n",
-              max_asset < 0.01 ? "yes" : "NO", pct(max_asset, 2).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("extra_quality"); }

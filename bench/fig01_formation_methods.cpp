@@ -1,68 +1,6 @@
-// Figure 1: formation distance of policy atoms in 2002 computed with
-// method (iii) (left plot) vs method (ii) (right plot).
-#include "core/formation.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig01.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "repro_2002.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-void print_series(const char* title, const core::FormationResult& f) {
-  std::printf("%s\n", title);
-  std::printf("  %-28s", "distance:");
-  for (int d = 1; d <= 6; ++d) std::printf(" %7d", d);
-  std::printf("\n  %-28s", "% atoms created at distance");
-  for (int d = 1; d <= 6; ++d) {
-    std::printf(" %7s", pct(f.share_at(d), 1).c_str());
-  }
-  std::printf("\n  %-28s", "cumulative");
-  for (int d = 1; d <= 6; ++d) {
-    std::printf(" %7s", pct(f.cumulative_share(d), 1).c_str());
-  }
-  std::printf("\n  %-28s", "% first atoms split at dist");
-  for (int d = 1; d <= 6; ++d) {
-    std::printf(" %7s",
-                pct(f.total_ases
-                        ? static_cast<double>(f.first_split_at[d]) / f.total_ases
-                        : 0.0)
-                    .c_str());
-  }
-  std::printf("\n  %-28s", "% all atoms split at dist");
-  for (int d = 1; d <= 6; ++d) {
-    std::printf(" %7s",
-                pct(f.total_ases
-                        ? static_cast<double>(f.all_split_at[d]) / f.total_ases
-                        : 0.0)
-                    .c_str());
-  }
-  std::printf("\n");
-}
-
-}  // namespace
-
-int main() {
-  header("Figure 1", "Formation distance, method (iii) vs method (ii), 2002");
-  auto config = repro_2002_config(scale_multiplier());
-  note_scale(config.scale);
-  const auto c = core::run_campaign(config);
-
-  const auto m3 =
-      core::formation_distance(c.atoms(), core::PrependMethod::kRunAware);
-  const auto m2 = core::formation_distance(
-      c.atoms(), core::PrependMethod::kStripAfterGrouping);
-
-  print_series("Method (iii) — run-aware (left plot, adopted):", m3);
-  std::printf("\n");
-  print_series("Method (ii) — strip after grouping (right plot):", m2);
-
-  std::printf("\nPaper finding (§3.4.3): method (iii) puts ~10pp more atoms\n"
-              "at distance 1 than method (ii) — the prepending-only atoms.\n");
-  std::printf("  sim: method (iii) d1 = %s, method (ii) d1 = %s "
-              "(diff %.1fpp, prepend cause %s)\n",
-              pct(m3.share_at(1)).c_str(), pct(m2.share_at(1)).c_str(),
-              100 * (m3.share_at(1) - m2.share_at(1)),
-              pct(m3.cause_share(core::DistanceOneCause::kPrepending)).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig01"); }

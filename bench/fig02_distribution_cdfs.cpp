@@ -1,58 +1,6 @@
-// Figure 2: CDFs of atoms-per-AS (left) and prefixes-per-atom (right),
-// 2004 vs 2024.
-#include "core/stats.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig02.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-void print_cdf_rows(const char* label, const core::Cdf& c2004,
-                    const core::Cdf& c2024) {
-  std::printf("%s\n", label);
-  std::printf("  %-10s %12s %12s\n", "value<=", "2004 CDF", "2024 CDF");
-  for (std::uint64_t v : {1, 2, 3, 5, 10, 20, 50, 100, 500, 1000}) {
-    std::printf("  %-10llu %12s %12s\n",
-                static_cast<unsigned long long>(v), pct(c2004.at(v)).c_str(),
-                pct(c2024.at(v)).c_str());
-  }
-}
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 2", "Atoms per AS and prefixes per atom, 2004 vs 2024");
-  const double scale04 = 0.05 * mult, scale24 = 0.03 * mult;
-  note_scale(scale04);
-
-  core::CampaignConfig config;
-  config.seed = 42;
-  config.year = 2004.0;
-  config.scale = scale04;
-  const auto c2004 = core::run_campaign(config);
-  config.year = 2024.75;
-  config.scale = scale24;
-  const auto c2024 = core::run_campaign(config);
-
-  print_cdf_rows("Left: number of atoms in an AS (CDF over ASes)",
-                 core::atoms_per_as_cdf(c2004.atoms()),
-                 core::atoms_per_as_cdf(c2024.atoms()));
-  std::printf("\n");
-  print_cdf_rows("Right: number of prefixes in an atom (CDF over atoms)",
-                 core::prefixes_per_atom_cdf(c2004.atoms()),
-                 core::prefixes_per_atom_cdf(c2024.atoms()));
-
-  const auto a04 = core::atoms_per_as_cdf(c2004.atoms());
-  const auto a24 = core::atoms_per_as_cdf(c2024.atoms());
-  const auto p04 = core::prefixes_per_atom_cdf(c2004.atoms());
-  const auto p24 = core::prefixes_per_atom_cdf(c2024.atoms());
-  std::printf("\nShape checks (paper §4.1):\n");
-  std::printf("  2024 ASes have MORE atoms (CDF right-shift at 2): %s\n",
-              a24.at(2) < a04.at(2) ? "yes" : "NO");
-  std::printf("  2024 atoms have FEWER prefixes (CDF left-shift at 2): %s\n",
-              p24.at(2) > p04.at(2) ? "yes" : "NO");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig02"); }

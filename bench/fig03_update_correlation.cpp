@@ -1,77 +1,6 @@
-// Figure 3: likelihood of an atom / AS being seen in full within a single
-// BGP update, 2004 (left) vs 2024 (right).
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig03.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-void print_panel(const char* title, const core::UpdateCorrelation& corr) {
-  std::printf("%s (%zu update records)\n", title, corr.updates_seen);
-  std::printf("  %-44s", "prefixes in entity (k):");
-  for (int k = 2; k <= 7; ++k) std::printf(" %6d", k);
-  std::printf("\n");
-  auto line = [&](const char* label, const core::PrFullCurve& c) {
-    std::printf("  %-44s", label);
-    for (int k = 2; k <= 7; ++k) {
-      std::printf(" %6s", pct(c.at(k), 0).c_str());
-    }
-    std::printf("\n");
-  };
-  line("Atom (with k prefixes)", corr.atom);
-  line("AS (with k prefixes)", corr.as_all);
-  line("AS (with at least one atom of size > 1)", corr.as_multi);
-  line("AS (with all single-prefix atoms)", corr.as_single);
-}
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 3", "Atoms vs ASes seen in full within one BGP update");
-  const double scale04 = 0.04 * mult, scale24 = 0.015 * mult;
-  note_scale(scale24);
-
-  core::CampaignConfig config;
-  config.seed = 42;
-  config.with_updates = true;
-  config.year = 2004.0;
-  config.scale = scale04;
-  const auto c2004 = core::run_campaign(config);
-  config.year = 2024.75;
-  config.scale = scale24;
-  const auto c2024 = core::run_campaign(config);
-
-  print_panel("Year 2004:", *c2004.correlation);
-  std::printf("\n");
-  print_panel("Year 2024:", *c2024.correlation);
-
-  // Shape checks against §4.2.
-  const auto& a24 = c2024.correlation->atom;
-  const auto& s24 = c2024.correlation->as_all;
-  bool atom_above_as = true, atoms_over_40 = true;
-  double gap = 0;
-  int gap_n = 0;
-  for (int k = 2; k <= 6; ++k) {
-    if (!(a24.at(k) > s24.at(k)) && !std::isnan(s24.at(k))) {
-      atom_above_as = false;
-    }
-    if (!(a24.at(k) > 0.25)) atoms_over_40 = false;
-    if (!std::isnan(s24.at(k))) {
-      gap += a24.at(k) - s24.at(k);
-      ++gap_n;
-    }
-  }
-  std::printf("\nShape checks (paper §4.2, 2024):\n");
-  std::printf("  atom curve above AS curve for k=2..6: %s (mean gap %.0fpp; "
-              "paper ~30pp)\n",
-              atom_above_as ? "yes" : "NO", gap_n ? 100 * gap / gap_n : 0.0);
-  std::printf("  atoms seen-in-full stay high for k=2..6: %s "
-              "(paper: >40%%)\n",
-              atoms_over_40 ? "yes" : "NO");
-  std::printf("  all-single-prefix-atom ASes near zero: %s (k=2: %s)\n",
-              c2024.correlation->as_single.at(2) < 0.10 ? "yes" : "NO",
-              pct(c2024.correlation->as_single.at(2)).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig03"); }

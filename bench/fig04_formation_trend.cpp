@@ -1,54 +1,6 @@
-// Figure 4: percentage of atoms created at distances 1-5 from the origin
-// AS, quarterly 2004-2024 (solid: all ASes; dashed: excluding single-atom
-// ASes).
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig04.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 4", "Formation-distance trend, 2004-2024 (IPv4)");
-  const double scale = 0.008 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
-    jobs.push_back(core::quarter_job(net::Family::kIPv4, year, scale,
-                                     /*seed=*/1000 + (int)year));
-  }
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-
-  std::printf("  %-7s | %29s | %29s\n", "", "all ASes (d=1..5)",
-              "excl. single-atom ASes");
-  std::printf("  %-7s | %5s %5s %5s %5s %5s | %5s %5s %5s %5s %5s\n", "year",
-              "d1", "d2", "d3", "d4", "d5", "d1", "d2", "d3", "d4", "d5");
-
-  double first_d1 = -1, last_d1 = 0, first_d3 = -1, last_d3 = 0;
-  for (const auto& m : metrics) {
-    std::printf("  %-7.0f |", m.year);
-    for (int d = 1; d <= 5; ++d) std::printf(" %5.1f", 100 * m.formed_at[d]);
-    std::printf(" |");
-    for (int d = 1; d <= 5; ++d) {
-      std::printf(" %5.1f", 100 * m.formed_at_multi[d]);
-    }
-    std::printf("\n");
-    if (first_d1 < 0) {
-      first_d1 = m.formed_at[1];
-      first_d3 = m.formed_at[3];
-    }
-    last_d1 = m.formed_at[1];
-    last_d3 = m.formed_at[3];
-  }
-
-  std::printf("\nShape checks (paper §4.3):\n");
-  std::printf("  distance-1 share falls over the period: %s (%.0f%% -> %.0f%%;"
-              " paper 45%% -> 20%%)\n",
-              last_d1 < first_d1 - 0.05 ? "yes" : "NO", 100 * first_d1,
-              100 * last_d1);
-  std::printf("  distance-3 share rises over the period: %s (%.0f%% -> %.0f%%;"
-              " paper 17%% -> 33%%)\n",
-              last_d3 > first_d3 + 0.02 ? "yes" : "NO", 100 * first_d3,
-              100 * last_d3);
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig04"); }

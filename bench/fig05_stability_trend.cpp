@@ -1,43 +1,6 @@
-// Figure 5: short-term (8h) and long-term (1 week) stability of atoms,
-// CAM and MPM, over 2004-2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig05.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 5", "Stability trend 2004-2024 (IPv4)");
-  const double scale = 0.008 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2004.0; year <= 2024.76; year += 1.0) {
-    jobs.push_back(core::quarter_job(net::Family::kIPv4, year, scale,
-                                     /*seed=*/2000 + (int)year));
-  }
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-
-  std::printf("  %-7s | %10s %10s | %10s %10s\n", "year", "CAM 8h", "MPM 8h",
-              "CAM 1w", "MPM 1w");
-  double min_cam8 = 1.0, max_cam8 = 0.0, last_cam8 = 0.0;
-  for (const auto& m : metrics) {
-    std::printf("  %-7.0f | %10s %10s | %10s %10s\n", m.year,
-                pct(m.cam_8h).c_str(), pct(m.mpm_8h).c_str(),
-                pct(m.cam_1w).c_str(), pct(m.mpm_1w).c_str());
-    if (m.year < 2023) {
-      min_cam8 = std::min(min_cam8, m.cam_8h);
-      max_cam8 = std::max(max_cam8, m.cam_8h);
-    }
-    last_cam8 = m.cam_8h;
-  }
-
-  std::printf("\nShape checks (paper §4.4 / Fig. 5):\n");
-  std::printf("  short-term stability consistently high pre-2023: %s "
-              "(range %s..%s; paper ~96-98%%)\n",
-              min_cam8 > 0.90 ? "yes" : "NO", pct(min_cam8).c_str(),
-              pct(max_cam8).c_str());
-  std::printf("  2024 dip visible: %s (final CAM 8h %s; paper 83.7%%)\n",
-              last_cam8 < min_cam8 ? "yes" : "NO", pct(last_cam8).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig05"); }

@@ -1,44 +1,6 @@
-// Figure 6: distribution (CDF) of the number of vantage points observing
-// each atom-split event.
-#include <algorithm>
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig06.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "daily_splits.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 6", "Number of observers per atom-split event (CDF)");
-  const double scale = 0.012 * mult;
-  const int days = 40;
-  std::printf("[%d simulated days, era 2019]\n", days);
-  note_scale(scale);
-
-  const auto campaign = run_daily_splits(days, scale, 42);
-  std::vector<std::size_t> all;
-  for (const auto& day : campaign.observers_per_day) {
-    all.insert(all.end(), day.begin(), day.end());
-  }
-  std::sort(all.begin(), all.end());
-  std::printf("  %zu split events detected\n\n", all.size());
-  if (all.empty()) return 1;
-
-  auto cdf_at = [&](std::size_t v) {
-    const auto it = std::upper_bound(all.begin(), all.end(), v);
-    return static_cast<double>(it - all.begin()) /
-           static_cast<double>(all.size());
-  };
-  std::printf("  %-22s %12s\n", "observers <=", "CDF");
-  for (std::size_t v : {1, 2, 3, 5, 10, 20, 50}) {
-    std::printf("  %-22zu %12s\n", v, pct(cdf_at(v)).c_str());
-  }
-
-  std::printf("\nShape checks (paper §4.4.1):\n");
-  std::printf("  ~60%% of events seen by exactly one VP: sim %s\n",
-              pct(cdf_at(1)).c_str());
-  std::printf("  ~80%% of events seen by <= 3 VPs:       sim %s\n",
-              pct(cdf_at(3)).c_str());
-  std::printf("  long tail exists (max observers %zu)\n", all.back());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig06"); }

@@ -1,66 +1,6 @@
-// Figures 7 & 16: per-day breakdown of atom-split events — single- vs
-// multi-observer share, and which peer dominates the single-observer
-// events.
-#include <algorithm>
-#include <map>
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig07.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "daily_splits.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 7/16", "Daily split breakdown: single vs multi observer");
-  const double scale = 0.012 * mult;
-  const int days = 40;
-  std::printf("[%d simulated days, era 2019]\n", days);
-  note_scale(scale);
-
-  const auto campaign = run_daily_splits(days, scale, 42);
-
-  // Identify the two globally most frequent single-observer peers.
-  std::map<net::Asn, std::size_t> freq;
-  for (const auto& day : campaign.single_observer_asn_per_day) {
-    for (net::Asn a : day) ++freq[a];
-  }
-  std::vector<std::pair<std::size_t, net::Asn>> ranked;
-  for (const auto& [asn, n] : freq) ranked.emplace_back(n, asn);
-  std::sort(ranked.rbegin(), ranked.rend());
-  const net::Asn top1 = ranked.size() > 0 ? ranked[0].second : 0;
-  const net::Asn top2 = ranked.size() > 1 ? ranked[1].second : 0;
-
-  std::printf("  %-6s %8s | %8s %8s | %10s %10s %8s\n", "day", "events",
-              "multi", "single", "top-peer", "2nd-peer", "rest");
-  std::size_t total = 0, single_total = 0, top_total = 0;
-  for (std::size_t d = 0; d < campaign.observers_per_day.size(); ++d) {
-    const auto& counts = campaign.observers_per_day[d];
-    const auto& singles = campaign.single_observer_asn_per_day[d];
-    const std::size_t events = counts.size();
-    const std::size_t single = singles.size();
-    std::size_t by_top = 0, by_second = 0;
-    for (net::Asn a : singles) {
-      by_top += a == top1;
-      by_second += a == top2;
-    }
-    std::printf("  %-6zu %8zu | %8zu %8zu | %10zu %10zu %8zu\n", d + 2,
-                events, events - single, single, by_top, by_second,
-                single - by_top - by_second);
-    total += events;
-    single_total += single;
-    top_total += by_top;
-  }
-
-  std::printf("\nShape checks (paper §4.4.1 / Fig. 7):\n");
-  std::printf("  single-observer events dominate: %s of all events "
-              "(paper ~60%%)\n",
-              total ? pct(static_cast<double>(single_total) / total).c_str()
-                    : "-");
-  std::printf("  one peer (AS%u) dominates single-observer events: %s of "
-              "them\n",
-              top1,
-              single_total
-                  ? pct(static_cast<double>(top_total) / single_total).c_str()
-                  : "-");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig07"); }

@@ -1,49 +1,6 @@
-// Figure 8: CDFs of atoms-per-AS and prefixes-per-atom, IPv4 vs IPv6, 2024.
-#include "core/stats.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig08.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 8", "IPv4 vs IPv6 atom distributions (2024)");
-  const double s_v4 = 0.03 * mult, s_v6 = 0.06 * mult;
-  note_scale(s_v6);
-
-  core::CampaignConfig config;
-  config.seed = 42;
-  config.year = 2024.75;
-  config.family = net::Family::kIPv4;
-  config.scale = s_v4;
-  const auto v4 = core::run_campaign(config);
-  config.family = net::Family::kIPv6;
-  config.scale = s_v6;
-  const auto v6 = core::run_campaign(config);
-
-  const auto a4 = core::atoms_per_as_cdf(v4.atoms());
-  const auto a6 = core::atoms_per_as_cdf(v6.atoms());
-  const auto p4 = core::prefixes_per_atom_cdf(v4.atoms());
-  const auto p6 = core::prefixes_per_atom_cdf(v6.atoms());
-
-  std::printf("  %-10s | %10s %10s | %10s %10s\n", "value<=", "v4 atoms/AS",
-              "v6 atoms/AS", "v4 pfx/atom", "v6 pfx/atom");
-  for (std::uint64_t v : {1, 2, 3, 5, 10, 20, 50, 100}) {
-    std::printf("  %-10llu | %10s %10s | %10s %10s\n",
-                static_cast<unsigned long long>(v), pct(a4.at(v)).c_str(),
-                pct(a6.at(v)).c_str(), pct(p4.at(v)).c_str(),
-                pct(p6.at(v)).c_str());
-  }
-
-  std::printf("\nShape checks (paper §5.1):\n");
-  std::printf("  v6 has FEWER atoms per AS (CDF above v4 at 1): %s "
-              "(%s vs %s)\n",
-              a6.at(1) > a4.at(1) ? "yes" : "NO", pct(a6.at(1)).c_str(),
-              pct(a4.at(1)).c_str());
-  std::printf("  prefixes-per-atom distributions similar (|diff| at 2 "
-              "< 15pp): %s (%s vs %s)\n",
-              std::abs(p6.at(2) - p4.at(2)) < 0.15 ? "yes" : "NO",
-              pct(p6.at(2)).c_str(), pct(p4.at(2)).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig08"); }

@@ -1,44 +1,6 @@
-// Figure 9: IPv6 atom stability (8h and 1 week, CAM and MPM), 2011-2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig09.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 9", "IPv6 stability trend 2011-2024");
-  const double scale = 0.05 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2011.0; year <= 2024.76; year += 1.0) {
-    jobs.push_back(core::quarter_job(net::Family::kIPv6, year, scale,
-                                     /*seed=*/3000 + (int)year));
-  }
-  // The IPv4 comparison quarter rides in the same sweep as the last job.
-  jobs.push_back(
-      core::quarter_job(net::Family::kIPv4, 2024.75, 0.008 * mult, 3999));
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-  const auto& v4 = metrics.back();
-
-  std::printf("  %-7s | %10s %10s | %10s %10s\n", "year", "CAM 8h", "MPM 8h",
-              "CAM 1w", "MPM 1w");
-  double min_cam8 = 1.0;
-  std::vector<double> cam8_series;
-  for (std::size_t i = 0; i + 1 < metrics.size(); ++i) {
-    const auto& m = metrics[i];
-    std::printf("  %-7.0f | %10s %10s | %10s %10s\n", m.year,
-                pct(m.cam_8h).c_str(), pct(m.mpm_8h).c_str(),
-                pct(m.cam_1w).c_str(), pct(m.mpm_1w).c_str());
-    min_cam8 = std::min(min_cam8, m.cam_8h);
-    cam8_series.push_back(m.cam_8h);
-  }
-
-  std::printf("\nShape checks (paper §5.2):\n");
-  std::printf("  v6 short-term stability consistently high: %s (min %s)\n",
-              min_cam8 > 0.9 ? "yes" : "NO", pct(min_cam8).c_str());
-  std::printf("  v6 2024 more stable than v4 2024: %s (%s vs %s)\n",
-              cam8_series.back() > v4.cam_8h ? "yes" : "NO",
-              pct(cam8_series.back()).c_str(), pct(v4.cam_8h).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig09"); }

@@ -1,46 +1,6 @@
-// Figure 10: likelihood of atoms/ASes seen in full in one update, IPv6 2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig10.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 10", "IPv6 atoms vs ASes seen in full in one update (2024)");
-  const double scale = 0.05 * mult;
-  note_scale(scale);
-
-  core::CampaignConfig config;
-  config.family = net::Family::kIPv6;
-  config.year = 2024.75;
-  config.scale = scale;
-  config.seed = 42;
-  config.with_updates = true;
-  const auto c = core::run_campaign(config);
-  const auto& corr = *c.correlation;
-
-  std::printf("  (%zu update records)\n", corr.updates_seen);
-  std::printf("  %-44s", "prefixes in entity (k):");
-  for (int k = 2; k <= 7; ++k) std::printf(" %6d", k);
-  std::printf("\n");
-  auto line = [&](const char* label, const core::PrFullCurve& curve) {
-    std::printf("  %-44s", label);
-    for (int k = 2; k <= 7; ++k) std::printf(" %6s", pct(curve.at(k), 0).c_str());
-    std::printf("\n");
-  };
-  line("Atom (with k prefixes)", corr.atom);
-  line("AS (with k prefixes)", corr.as_all);
-  line("AS (with at least one atom of size > 1)", corr.as_multi);
-  line("AS (with all single-prefix-atoms)", corr.as_single);
-
-  bool atom_above = true;
-  for (int k = 2; k <= 6; ++k) {
-    if (!std::isnan(corr.as_all.at(k)) && corr.atom.at(k) <= corr.as_all.at(k)) {
-      atom_above = false;
-    }
-  }
-  std::printf("\nShape check (paper §5.3): atom curve consistently above the "
-              "AS curve: %s\n",
-              atom_above ? "yes" : "NO");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig10"); }

@@ -1,55 +1,6 @@
-// Figure 11: IPv6 formation-distance trend, 2011-2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig11.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 11", "IPv6 formation-distance trend 2011-2024");
-  const double scale = 0.05 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2011.0; year <= 2024.76; year += 1.0) {
-    jobs.push_back(core::quarter_job(net::Family::kIPv6, year, scale,
-                                     /*seed=*/4000 + (int)year));
-  }
-  // The IPv4 comparison quarter rides in the same sweep as the last job.
-  jobs.push_back(
-      core::quarter_job(net::Family::kIPv4, 2024.75, 0.008 * mult, 4999));
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-  const auto& v4 = metrics.back();
-
-  std::printf("  %-7s | %29s | %29s\n", "", "all ASes (d=1..5)",
-              "excl. single-atom ASes");
-  std::printf("  %-7s | %5s %5s %5s %5s %5s | %5s %5s %5s %5s %5s\n", "year",
-              "d1", "d2", "d3", "d4", "d5", "d1", "d2", "d3", "d4", "d5");
-  double first_d1 = -1, last_d1 = 0;
-  std::array<double, 6> last{};
-  for (std::size_t i = 0; i + 1 < metrics.size(); ++i) {
-    const auto& m = metrics[i];
-    std::printf("  %-7.0f |", m.year);
-    for (int d = 1; d <= 5; ++d) std::printf(" %5.1f", 100 * m.formed_at[d]);
-    std::printf(" |");
-    for (int d = 1; d <= 5; ++d) {
-      std::printf(" %5.1f", 100 * m.formed_at_multi[d]);
-    }
-    std::printf("\n");
-    if (first_d1 < 0) first_d1 = m.formed_at[1];
-    last_d1 = m.formed_at[1];
-    last = m.formed_at;
-  }
-
-  std::printf("\nShape checks (paper §5.4):\n");
-  std::printf("  v6 distance-1 share falls 2011->2024: %s (%.0f%% -> %.0f%%)\n",
-              last_d1 < first_d1 - 0.05 ? "yes" : "NO", 100 * first_d1,
-              100 * last_d1);
-  std::printf("  v6 atoms form closer to origin than v4 (d1+d2): %s "
-              "(%.0f%% vs %.0f%%)\n",
-              last[1] + last[2] > v4.formed_at[1] + v4.formed_at[2] ? "yes"
-                                                                    : "NO",
-              100 * (last[1] + last[2]),
-              100 * (v4.formed_at[1] + v4.formed_at[2]));
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig11"); }

@@ -1,37 +1,6 @@
-// Figure 12 (Appendix A8.2): the full-feed threshold — maximum count of
-// unique prefixes shared by any peer — over 2004-2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig12.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 12", "Full-feed threshold (max unique prefixes per peer)");
-  const double scale = 0.01 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::SweepJob job;
-    job.config.year = year;
-    job.config.scale = scale;
-    job.config.seed = 5000 + static_cast<int>(year);
-    jobs.push_back(job);
-  }
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-
-  std::printf("  %-7s %18s %22s\n", "year", "max unique pfx",
-              "scale-normalized");
-  double first = 0, last = 0;
-  for (const auto& m : metrics) {
-    const double raw = static_cast<double>(m.full_feed_threshold);
-    std::printf("  %-7.0f %18.0f %22.0f\n", m.year, raw, raw / scale);
-    if (first == 0) first = raw;
-    last = raw;
-  }
-  std::printf("\nShape check (paper Fig. 12): threshold grows ~10x "
-              "(100K -> 1M): sim %.1fx\n",
-              first > 0 ? last / first : 0.0);
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig12"); }

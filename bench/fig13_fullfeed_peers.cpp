@@ -1,39 +1,6 @@
-// Figure 13 (Appendix A8.2): number of inferred full-feed peers, 2004-2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig13.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Figure 13", "Number of full-feed peers over time");
-  const double scale = 0.01 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
-    core::SweepJob job;
-    job.config.year = year;
-    job.config.scale = scale;
-    job.config.seed = 6000 + static_cast<int>(year);
-    jobs.push_back(job);
-  }
-  const auto metrics = core::run_sweep(jobs, sweep_options());
-
-  std::printf("  %-7s %14s %14s %20s\n", "year", "peer sessions",
-              "full-feed", "scale-normalized");
-  double first = 0, last = 0;
-  for (const auto& m : metrics) {
-    // Peers scale with sqrt(scale) in the era model (see era.cpp).
-    const double normalized =
-        static_cast<double>(m.full_feed_peers) / std::sqrt(scale);
-    std::printf("  %-7.0f %14zu %14zu %20.0f\n", m.year, m.peers_in,
-                m.full_feed_peers, normalized);
-    if (first == 0) first = static_cast<double>(m.full_feed_peers);
-    last = static_cast<double>(m.full_feed_peers);
-  }
-  std::printf("\nShape check (paper Fig. 13): full-feed peers grow from <50 "
-              "to ~600 (>10x): sim %.1fx\n",
-              first > 0 ? last / first : 0.0);
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig13"); }

@@ -1,35 +1,6 @@
-// Figure 14 (Appendix A8.4.1): 2002 distributions of atoms per AS,
-// prefixes per atom and prefixes per AS.
-#include "core/stats.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig14.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "repro_2002.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  header("Figure 14", "2002 CDFs: atoms/AS, prefixes/atom, prefixes/AS");
-  const auto config = repro_2002_config(scale_multiplier());
-  note_scale(config.scale);
-  const auto c = core::run_campaign(config);
-
-  const auto atoms_as = core::atoms_per_as_cdf(c.atoms());
-  const auto pfx_atom = core::prefixes_per_atom_cdf(c.atoms());
-  const auto pfx_as = core::prefixes_per_as_cdf(c.atoms());
-
-  std::printf("  %-10s %14s %16s %14s\n", "value<=", "atoms/AS",
-              "prefixes/atom", "prefixes/AS");
-  for (std::uint64_t v : {1, 2, 4, 8, 16, 32, 64}) {
-    std::printf("  %-10llu %14s %16s %14s\n",
-                static_cast<unsigned long long>(v),
-                pct(atoms_as.at(v)).c_str(), pct(pfx_atom.at(v)).c_str(),
-                pct(pfx_as.at(v)).c_str());
-  }
-
-  std::printf("\nShape checks (Afek et al. / Appendix A8.4.1):\n");
-  std::printf("  most ASes have 1 atom:   %s at 1 (paper ~60-70%%)\n",
-              pct(atoms_as.at(1)).c_str());
-  std::printf("  atoms/AS stochastically dominates prefixes/AS: %s\n",
-              atoms_as.at(4) >= pfx_as.at(4) ? "yes" : "NO");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig14"); }

@@ -1,41 +1,6 @@
-// Figure 15 (Appendix A8.4.2): reproduced 2002 update-correlation analysis
-// — 4 hours of updates after the 2002-01-15 08:00 snapshot.
-#include "repro_2002.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/fig15.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  header("Figure 15", "2002 atoms vs ASes seen in full in one update");
-  auto config = repro_2002_config(scale_multiplier());
-  config.with_updates = true;
-  note_scale(config.scale);
-  const auto c = core::run_campaign(config);
-  const auto& corr = *c.correlation;
-
-  std::printf("  (%zu update records in the 4h window)\n", corr.updates_seen);
-  std::printf("  %-28s", "prefixes in entity (k):");
-  for (int k = 2; k <= 7; ++k) std::printf(" %6d", k);
-  std::printf("\n");
-  std::printf("  %-28s", "Atom (with k prefixes)");
-  for (int k = 2; k <= 7; ++k) {
-    std::printf(" %6s", pct(corr.atom.at(k), 0).c_str());
-  }
-  std::printf("\n  %-28s", "AS (with k prefixes)");
-  for (int k = 2; k <= 7; ++k) {
-    std::printf(" %6s", pct(corr.as_all.at(k), 0).c_str());
-  }
-  std::printf("\n");
-
-  bool atom_above = true;
-  for (int k = 2; k <= 6; ++k) {
-    if (!std::isnan(corr.as_all.at(k)) &&
-        corr.atom.at(k) <= corr.as_all.at(k)) {
-      atom_above = false;
-    }
-  }
-  std::printf("\nShape check (Appendix A8.4.2): atom curve above AS curve, "
-              "atoms ~50-80%% at small k: %s (atom k=2: %s)\n",
-              atom_above ? "yes" : "NO", pct(corr.atom.at(2)).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("fig15"); }

@@ -1,49 +1,6 @@
-// Sweep-engine throughput: the same 8-quarter longitudinal sweep run on
-// one worker and on the full pool, with a bit-identity check between the
-// two result vectors. On a 4+ core machine the pooled run should be >=2x
-// faster; on fewer cores the check still validates determinism.
-#include <chrono>
+// Thin shim: the experiment definition lives in
+// bench/experiments/perf_sweep.cpp. Strict mode preserves the old
+// behavior of exiting non-zero when the bit-identity check fails.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-double run_timed(const std::vector<core::SweepJob>& jobs, int threads,
-                 std::vector<core::QuarterMetrics>& out) {
-  core::SweepOptions opt;
-  opt.threads = threads;
-  const auto t0 = std::chrono::steady_clock::now();
-  out = core::run_sweep(jobs, opt);
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Perf", "run_sweep(): sequential vs worker pool, 8 quarters");
-  const double scale = 0.01 * mult;
-  note_scale(scale);
-
-  std::vector<core::SweepJob> jobs;
-  for (double year = 2010.0; year < 2018.0; year += 1.0)
-    jobs.push_back(core::quarter_job(net::Family::kIPv4, year, scale,
-                                     9000 + static_cast<int>(year)));
-
-  const int pool_threads = core::resolve_threads(0);
-  std::vector<core::QuarterMetrics> seq, par;
-  const double t_seq = run_timed(jobs, 1, seq);
-  const double t_par = run_timed(jobs, pool_threads, par);
-
-  std::printf("  %-28s %10s %10s\n", "", "threads", "seconds");
-  std::printf("  %-28s %10d %10.2f\n", "sequential", 1, t_seq);
-  std::printf("  %-28s %10d %10.2f\n", "pooled", pool_threads, t_par);
-  std::printf("\n  speedup: %.2fx over %d threads\n",
-              t_par > 0 ? t_seq / t_par : 0.0, pool_threads);
-  std::printf("  bit-identical metrics: %s\n", seq == par ? "yes" : "NO");
-  return seq == par ? 0 : 1;
-}
+int main() { return bgpatoms::bench::run_shim("perf_sweep", /*strict=*/true); }

@@ -1,30 +1,6 @@
-// §3.2 / Appendix A8.4.1: reproduced 2002 general statistics — the check
-// that validated the paper's inferred methodology (12.5K ASes, 115K
-// prefixes, 26K atoms on the 2002-01-15 RRC00 snapshot).
-#include "repro_2002.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/repro2002.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  header("§3.2", "Reproduced 2002 general statistics (RRC00, 13 peers)");
-  const auto config = repro_2002_config(scale_multiplier());
-  note_scale(config.scale);
-  const auto c = core::run_campaign(config);
-  const auto& s = c.stats;
-
-  std::printf("  vantage points used: %zu (paper: 13 full-feed RRC00 peers)\n",
-              c.sanitized.front().vps.size());
-  std::printf("\n");
-  row_header("paper (scaled)", "sim");
-  const double k = config.scale;
-  row("ASes", num(12500 * k, 0), std::to_string(s.ases));
-  row("Prefixes", num(115000 * k, 0), std::to_string(s.prefixes));
-  row("Atoms", num(26000 * k, 0), std::to_string(s.atoms));
-  std::printf("\nRatios (scale-free):\n");
-  row_header();
-  row("prefixes / AS", "9.2", num(static_cast<double>(s.prefixes) / s.ases));
-  row("atoms / AS", "2.08", num(static_cast<double>(s.atoms) / s.ases));
-  row("prefixes / atom", "4.4", num(s.mean_atom_size));
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("repro2002"); }

@@ -1,74 +1,6 @@
-// Table 1: general statistics of policy atoms, Jan 2004 vs Oct 2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table1.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-core::Campaign run(double year, double scale) {
-  core::CampaignConfig config;
-  config.year = year;
-  config.scale = scale;
-  config.seed = 42;
-  return core::run_campaign(config);
-}
-
-void print_column(const char* label, const core::GeneralStats& s) {
-  std::printf("%s\n", label);
-  std::printf("  %-34s %10zu\n", "Number of prefixes", s.prefixes);
-  std::printf("  %-34s %10zu\n", "Number of ASes", s.ases);
-  std::printf("  %-34s %10zu (%s)\n", "Number of ASes with one atom",
-              s.ases_with_one_atom, pct(s.one_atom_as_share()).c_str());
-  std::printf("  %-34s %10zu\n", "Number of atoms", s.atoms);
-  std::printf("  %-34s %10zu (%s)\n", "Number of atoms with one prefix",
-              s.atoms_with_one_prefix, pct(s.one_prefix_atom_share()).c_str());
-  std::printf("  %-34s %10.2f\n", "Mean atom size", s.mean_atom_size);
-  std::printf("  %-34s %10zu\n", "99th percentile of atom size",
-              s.p99_atom_size);
-  std::printf("  %-34s %10zu\n", "Largest atom size", s.largest_atom_size);
-}
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 1", "General statistics of atoms in 2004 and 2024");
-  const double scale04 = 0.05 * mult, scale24 = 0.03 * mult;
-
-  const auto c2004 = run(2004.0, scale04);
-  const auto c2024 = run(2024.75, scale24);
-  note_scale(scale04);
-
-  std::printf("Paper (real Internet):\n");
-  std::printf("  %-26s %12s %12s\n", "", "Jan 2004", "Oct 2024");
-  std::printf("  %-26s %12s %12s\n", "Prefixes", "131,526", "1,028,444");
-  std::printf("  %-26s %12s %12s\n", "ASes", "16,490", "76,672");
-  std::printf("  %-26s %12s %12s\n", "ASes w/ one atom", "59.5%", "40.4%");
-  std::printf("  %-26s %12s %12s\n", "Atoms", "34,261", "483,117");
-  std::printf("  %-26s %12s %12s\n", "Atoms w/ one prefix", "57.7%", "73.5%");
-  std::printf("  %-26s %12s %12s\n", "Mean atom size", "3.84", "2.13");
-  std::printf("  %-26s %12s %12s\n", "99th pct atom size", "40", "17");
-  std::printf("  %-26s %12s %12s\n\n", "Largest atom", "1,020", "3,072");
-
-  print_column("Simulated Jan 2004:", c2004.stats);
-  std::printf("\n");
-  print_column("Simulated Oct 2024:", c2024.stats);
-
-  // Headline growth factors (scale-free comparison with the paper).
-  const double s04 = scale04, s24 = scale24;
-  std::printf("\nGrowth factors, 2004 -> 2024 (scale-normalized):\n");
-  row_header();
-  row("prefixes", "7.8x",
-      num(c2024.stats.prefixes / s24 / (c2004.stats.prefixes / s04), 1) + "x");
-  row("atoms", "14.1x",
-      num(c2024.stats.atoms / s24 / (c2004.stats.atoms / s04), 1) + "x");
-  row("atoms per AS", "3.0x",
-      num((static_cast<double>(c2024.stats.atoms) / c2024.stats.ases) /
-              (static_cast<double>(c2004.stats.atoms) / c2004.stats.ases),
-          1) +
-          "x");
-  row("mean atom size", "0.55x",
-      num(c2024.stats.mean_atom_size / c2004.stats.mean_atom_size, 2) + "x");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table1"); }

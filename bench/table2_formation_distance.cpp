@@ -1,61 +1,6 @@
-// Table 2: formation-distance distribution in 2004 and 2024 (method iii).
-#include "core/formation.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table2.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 2", "Formation distance distribution in 2004 and 2024");
-  const double scale04 = 0.05 * mult, scale24 = 0.03 * mult;
-  note_scale(scale04);
-
-  core::CampaignConfig config;
-  config.seed = 42;
-  config.year = 2004.0;
-  config.scale = scale04;
-  const auto c2004 = core::run_campaign(config);
-  config.year = 2024.75;
-  config.scale = scale24;
-  const auto c2024 = core::run_campaign(config);
-
-  const auto f2004 = core::formation_distance(c2004.atoms());
-  const auto f2024 = core::formation_distance(c2024.atoms());
-
-  constexpr double kPaper2004[] = {0, 0.45, 0.30, 0.17, 0.06};
-  constexpr double kPaper2024[] = {0, 0.20, 0.30, 0.33, 0.12};
-
-  std::printf("  %-22s %10s %10s %10s %10s\n", "", "2004 paper", "2004 sim",
-              "2024 paper", "2024 sim");
-  for (int d = 1; d <= 4; ++d) {
-    std::printf("  Atom formed at dist %d %10s %10s %10s %10s\n", d,
-                pct(kPaper2004[d], 0).c_str(), pct(f2004.share_at(d)).c_str(),
-                pct(kPaper2024[d], 0).c_str(), pct(f2024.share_at(d)).c_str());
-  }
-  std::printf("  Atom formed at dist 5+ %9s %10s %10s %10s\n", "~2%",
-              pct(1 - f2004.cumulative_share(4)).c_str(), "~5%",
-              pct(1 - f2024.cumulative_share(4)).c_str());
-
-  std::printf("\nKey trends (paper §4.3):\n");
-  std::printf("  distance-1 share falls:  %s -> %s (paper 45%% -> 20%%)\n",
-              pct(f2004.share_at(1)).c_str(), pct(f2024.share_at(1)).c_str());
-  std::printf("  distance>=3 share rises: %s -> %s (paper 23%% -> 45%%)\n",
-              pct(1 - f2004.cumulative_share(2)).c_str(),
-              pct(1 - f2024.cumulative_share(2)).c_str());
-
-  std::printf("\nDistance-1 cause breakdown (sim):\n");
-  std::printf("  %-28s %10s %10s\n", "", "2004", "2024");
-  using Cause = core::DistanceOneCause;
-  std::printf("  %-28s %10s %10s\n", "only atom of origin AS",
-              pct(f2004.cause_share(Cause::kOnlyAtomOfOrigin)).c_str(),
-              pct(f2024.cause_share(Cause::kOnlyAtomOfOrigin)).c_str());
-  std::printf("  %-28s %10s %10s\n", "unique vantage-point set",
-              pct(f2004.cause_share(Cause::kUniquePeerSet)).c_str(),
-              pct(f2024.cause_share(Cause::kUniquePeerSet)).c_str());
-  std::printf("  %-28s %10s %10s\n", "AS-path prepending",
-              pct(f2004.cause_share(Cause::kPrepending)).c_str(),
-              pct(f2024.cause_share(Cause::kPrepending)).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table2"); }

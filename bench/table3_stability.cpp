@@ -1,66 +1,6 @@
-// Table 3: stability of atoms (CAM / MPM at 8h, 24h, 1 week), 2004 vs 2024.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table3.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 3", "Stability of atoms in 2004 and 2024");
-  const double scale04 = 0.04 * mult, scale24 = 0.02 * mult;
-  note_scale(scale04);
-
-  core::CampaignConfig config;
-  config.seed = 42;
-  config.with_stability = true;
-  config.year = 2004.0;
-  config.scale = scale04;
-  const auto c2004 = core::run_campaign(config);
-  config.year = 2024.75;
-  config.scale = scale24;
-  const auto c2024 = core::run_campaign(config);
-
-  struct Row {
-    const char* horizon;
-    double p04_cam, p04_mpm, p24_cam, p24_mpm;  // paper values
-    const core::StabilityResult* s04;
-    const core::StabilityResult* s24;
-  };
-  const Row rows[] = {
-      {"After 8 hours", .963, .983, .837, .906, &*c2004.stability_8h,
-       &*c2024.stability_8h},
-      {"After 24 hours", .914, .950, .793, .872, &*c2004.stability_24h,
-       &*c2024.stability_24h},
-      {"After 1 week", .803, .888, .719, .801, &*c2004.stability_1w,
-       &*c2024.stability_1w},
-  };
-
-  std::printf("  %-16s | %-21s | %-21s\n", "", "Jan 2004 (CAM/MPM)",
-              "Oct 2024 (CAM/MPM)");
-  std::printf("  %-16s | %-10s %-10s | %-10s %-10s\n", "", "paper", "sim",
-              "paper", "sim");
-  for (const auto& r : rows) {
-    std::printf("  %-16s | %4.1f/%4.1f  %4.1f/%4.1f  | %4.1f/%4.1f  %4.1f/%4.1f\n",
-                r.horizon, 100 * r.p04_cam, 100 * r.p04_mpm,
-                100 * r.s04->cam, 100 * r.s04->mpm, 100 * r.p24_cam,
-                100 * r.p24_mpm, 100 * r.s24->cam, 100 * r.s24->mpm);
-  }
-
-  std::printf("\nShape checks (paper §4.4):\n");
-  std::printf("  2024 less stable than 2004 at every horizon: %s\n",
-              (c2024.stability_8h->cam < c2004.stability_8h->cam &&
-               c2024.stability_1w->cam < c2004.stability_1w->cam)
-                  ? "yes"
-                  : "NO");
-  std::printf("  MPM >= CAM (prefixes outlive atom identity): %s\n",
-              (c2004.stability_1w->mpm >= c2004.stability_1w->cam &&
-               c2024.stability_1w->mpm >= c2024.stability_1w->cam)
-                  ? "yes"
-                  : "NO");
-  std::printf("  breaks front-loaded (8h->24h drop < 8h drop): %s\n",
-              (c2004.stability_8h->cam - c2004.stability_24h->cam) <
-                      (1.0 - c2004.stability_8h->cam) + 0.05
-                  ? "yes"
-                  : "NO");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table3"); }

@@ -1,87 +1,6 @@
-// Table 4: general statistics of atoms, IPv4 vs IPv6 (2024) and IPv6 2011.
-#include <cstring>
+// Thin shim: the experiment definition lives in
+// bench/experiments/table4.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-#include "bench_util.h"
-
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-namespace {
-
-core::Campaign run(net::Family family, double year, double scale) {
-  core::CampaignConfig config;
-  config.family = family;
-  config.year = year;
-  config.scale = scale;
-  config.seed = 42;
-  return core::run_campaign(config);
-}
-
-}  // namespace
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 4", "General statistics: IPv4 vs IPv6");
-  const double s_v4 = 0.03 * mult, s_v6 = 0.06 * mult, s_v6_11 = 0.5 * mult;
-  note_scale(s_v6);
-
-  const auto v4 = run(net::Family::kIPv4, 2024.75, s_v4);
-  const auto v6 = run(net::Family::kIPv6, 2024.75, s_v6);
-  const auto v6_2011 = run(net::Family::kIPv6, 2011.0, s_v6_11);
-
-  std::printf("Paper:\n");
-  std::printf("  %-24s %12s %12s %12s\n", "", "v4 (2024)", "v6 (2024)",
-              "v6 (2011)");
-  std::printf("  %-24s %12s %12s %12s\n", "Prefixes", "1,028,444", "227,363",
-              "4,178");
-  std::printf("  %-24s %12s %12s %12s\n", "ASes", "76,672", "34,164", "2,938");
-  std::printf("  %-24s %12s %12s %12s\n", "single-atom ASes", "40.4%",
-              "65.3%", "87.1%");
-  std::printf("  %-24s %12s %12s %12s\n", "Atoms", "483,117", "94,494",
-              "3,486");
-  std::printf("  %-24s %12s %12s %12s\n", "single-prefix atoms", "73.5%",
-              "77.6%", "92.5%");
-  std::printf("  %-24s %12s %12s %12s\n", "Mean atom size", "2.13", "2.41",
-              "1.20");
-  std::printf("  %-24s %12s %12s %12s\n\n", "99th pct atom size", "17", "20",
-              "3");
-
-  auto col = [](const core::GeneralStats& s, const char* what) -> std::string {
-    if (!std::strcmp(what, "pfx")) return std::to_string(s.prefixes);
-    if (!std::strcmp(what, "as")) return std::to_string(s.ases);
-    if (!std::strcmp(what, "1as")) return pct(s.one_atom_as_share());
-    if (!std::strcmp(what, "atoms")) return std::to_string(s.atoms);
-    if (!std::strcmp(what, "1pfx")) return pct(s.one_prefix_atom_share());
-    if (!std::strcmp(what, "mean")) return num(s.mean_atom_size);
-    return std::to_string(s.p99_atom_size);
-  };
-  std::printf("Simulated:\n");
-  std::printf("  %-24s %12s %12s %12s\n", "", "v4 (2024)", "v6 (2024)",
-              "v6 (2011)");
-  for (const auto& [label, key] :
-       std::initializer_list<std::pair<const char*, const char*>>{
-           {"Prefixes", "pfx"},
-           {"ASes", "as"},
-           {"single-atom ASes", "1as"},
-           {"Atoms", "atoms"},
-           {"single-prefix atoms", "1pfx"},
-           {"Mean atom size", "mean"},
-           {"99th pct atom size", "p99"}}) {
-    std::printf("  %-24s %12s %12s %12s\n", label,
-                col(v4.stats, key).c_str(), col(v6.stats, key).c_str(),
-                col(v6_2011.stats, key).c_str());
-  }
-
-  std::printf("\nShape checks (paper §5.1):\n");
-  std::printf("  v6 mean atom size grew 2011->2024:      %s\n",
-              v6.stats.mean_atom_size > v6_2011.stats.mean_atom_size ? "yes"
-                                                                     : "NO");
-  std::printf("  v6 2024 mean atom size > v4 2024:       %s\n",
-              v6.stats.mean_atom_size > v4.stats.mean_atom_size ? "yes" : "NO");
-  std::printf("  v6 single-atom-AS share fell from ~87%%: %s -> %s\n",
-              pct(v6_2011.stats.one_atom_as_share()).c_str(),
-              pct(v6.stats.one_atom_as_share()).c_str());
-  std::printf("  FITI burst present (2021+): %d single-prefix /32 ASes\n",
-              v6.era.fiti_ases);
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table4"); }

@@ -1,57 +1,6 @@
-// Table 5 (Appendix A8.3): abnormal BGP peers detected and removed.
-//
-// The simulator injects the same three fault classes the paper documents
-// (ADD-PATH-incompatible peers on RouteViews-style collectors, one
-// private-ASN injector, duplicate-prefix emitters); this bench shows the
-// sanitizer finding all of them from the data alone.
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table5.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 5", "Abnormal BGP peers removed from the analysis");
-  const double scale = 0.03 * mult;
-  note_scale(scale);
-
-  std::printf("Paper (Appendix A8.3): peers of 5 ASNs removed —\n");
-  std::printf("  AS136557, AS57695, AS42541, AS47065  (ADD-PATH artifacts)\n");
-  std::printf("  AS25885                               (AS65000 injection)\n");
-  std::printf("  plus peers with >10%% duplicate prefixes\n\n");
-
-  // 2022 era: ADD-PATH breakage + the private-ASN injector window closed in
-  // early 2023, so both fault classes are present.
-  core::CampaignConfig config;
-  config.year = 2022.0;
-  config.scale = scale;
-  config.seed = 42;
-  const auto c = core::run_campaign(config);
-  const auto& report = c.sanitized.front().report;
-  const auto& vps = c.sim->topology().vantage_points;
-
-  std::printf("Simulated detection (%zu peers in, %zu full-feed kept):\n",
-              report.peers_in, report.full_feed_peers);
-  std::printf("  %-12s %-26s %-10s\n", "peer", "reason", "artifact share");
-  std::size_t abnormal = 0;
-  for (const auto& removed : report.removed_peers) {
-    if (removed.reason == core::PeerRemovalReason::kPartialFeed) continue;
-    std::printf("  AS%-10u %-26s %9.1f%%\n", removed.peer.asn,
-                core::to_string(removed.reason),
-                100.0 * removed.artifact_share);
-    ++abnormal;
-  }
-
-  // Ground truth from the fault-injection flags.
-  std::size_t injected = 0;
-  for (const auto& vp : vps) {
-    injected += vp.addpath_broken + vp.private_asn_injector +
-                vp.duplicate_emitter;
-  }
-  std::printf("\n  injected faulty peers: %zu, detected: %zu  -> %s\n",
-              injected, abnormal,
-              injected == abnormal ? "all found" : "MISMATCH");
-  std::printf("  records dropped as corrupt: %zu\n",
-              report.records_dropped_corrupt);
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table5"); }

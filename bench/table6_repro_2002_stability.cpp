@@ -1,34 +1,6 @@
-// Table 6 (Appendix A8.4.3): reproduced 2002 stability vs the original
-// Afek et al. numbers.
-#include "repro_2002.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table6.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  header("Table 6", "Reproduced stability of policy atoms over time (2002)");
-  auto config = repro_2002_config(scale_multiplier());
-  config.with_stability = true;
-  note_scale(config.scale);
-  const auto c = core::run_campaign(config);
-
-  std::printf("  %-12s | %-19s | %-19s\n", "Time span", "Original (CAM/MPM)",
-              "Reproduced (CAM/MPM)");
-  struct Row {
-    const char* span;
-    double cam, mpm;  // original paper (Afek et al.)
-    const core::StabilityResult* sim;
-  };
-  const Row rows[] = {
-      {"8 Hours", .953, .977, &*c.stability_8h},
-      {"1 Day", .916, .970, &*c.stability_24h},
-      {"1 Week", .775, .860, &*c.stability_1w},
-  };
-  for (const auto& r : rows) {
-    std::printf("  %-12s | %6.1f%% / %6.1f%%  | %6.1f%% / %6.1f%%\n", r.span,
-                100 * r.cam, 100 * r.mpm, 100 * r.sim->cam, 100 * r.sim->mpm);
-  }
-  std::printf("\n(The paper's own reproduction reported 94.2/97.5, 91.8/96.2 "
-              "and 77.6/87.0 — Appendix A8.4.3.)\n");
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table6"); }

@@ -1,54 +1,6 @@
-// Table 7 (Appendix A8.5): sensitivity of the prefix-visibility thresholds.
-// Count of retained prefixes under [min collectors] x [min peer ASes].
-#include "bench_util.h"
+// Thin shim: the experiment definition lives in
+// bench/experiments/table7.cpp; this binary keeps the historical
+// per-figure workflow working on top of the shared report layer.
+#include "experiments/shim.h"
 
-using namespace bgpatoms;
-using namespace bgpatoms::bench;
-
-int main() {
-  const double mult = scale_multiplier();
-  header("Table 7", "Prefix count under visibility-threshold combinations");
-  const double scale = 0.02 * mult;
-  note_scale(scale);
-
-  // One Oct-2024 snapshot, sanitized repeatedly under different thresholds.
-  core::CampaignConfig base;
-  base.year = 2024.75;
-  base.scale = scale;
-  base.seed = 42;
-  const auto campaign = core::run_campaign(base);
-  const auto& ds = campaign.sim->dataset();
-
-  std::printf("Paper (Oct 2025 snapshot, real Internet): 1,028,444 at the\n"
-              "adopted threshold [>=2 collectors, >=4 peer ASes]; <0.5%%\n"
-              "variation across neighboring cells.\n\n");
-
-  std::printf("  %-12s", "collectors\\peers");
-  for (int peers = 1; peers <= 5; ++peers) std::printf(" %9d", peers);
-  std::printf("\n");
-
-  double adopted = 0, corner_min = 1e18, corner_max = 0;
-  for (int colls = 1; colls <= 3; ++colls) {
-    std::printf("  %-12d    ", colls);
-    for (int peers = 1; peers <= 5; ++peers) {
-      core::SanitizeConfig config;
-      config.min_collectors = colls;
-      config.min_peer_ases = peers;
-      const auto snap = core::sanitize(ds, 0, config);
-      const double kept = static_cast<double>(snap.report.prefixes_kept);
-      std::printf(" %9zu", snap.report.prefixes_kept);
-      if (colls == 2 && peers == 4) adopted = kept;
-      if (peers >= 4) {
-        corner_min = std::min(corner_min, kept);
-        corner_max = std::max(corner_max, kept);
-      }
-    }
-    std::printf("%s\n", colls == 2 ? "   <- adopted row" : "");
-  }
-
-  std::printf("\n  adopted cell [>=2 colls, >=4 peers]: %.0f prefixes\n",
-              adopted);
-  std::printf("  spread across >=4-peer cells: %s (paper: <0.5%%)\n",
-              pct((corner_max - corner_min) / corner_max, 2).c_str());
-  return 0;
-}
+int main() { return bgpatoms::bench::run_shim("table7"); }

@@ -1,0 +1,89 @@
+#include "core/env.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace bgpatoms::core {
+namespace {
+
+/// Warn-once bookkeeping, shared by every env reader in the process.
+std::mutex warned_mu;
+std::set<std::string>& warned_vars() {
+  static std::set<std::string> vars;
+  return vars;
+}
+
+bool first_warning(const char* name) {
+  std::lock_guard<std::mutex> lock(warned_mu);
+  return warned_vars().insert(name).second;
+}
+
+void warn(const char* name, std::string_view value,
+          const char* requirement) {
+  if (!first_warning(name)) return;
+  std::fprintf(stderr,
+               "bgpatoms: ignoring %s='%.*s' (expected %s)\n", name,
+               static_cast<int>(value.size()), value.data(), requirement);
+}
+
+template <typename T>
+std::optional<T> parse_full(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+template <typename T>
+std::optional<T> env_parse(const char* name, const char* requirement) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  const auto value = parse_full<T>(std::string_view(raw));
+  if (!value) warn(name, raw, requirement);
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
+  return parse_full<double>(text);
+}
+
+std::optional<long long> parse_int(std::string_view text) {
+  return parse_full<long long>(text);
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  return parse_full<std::uint64_t>(text);
+}
+
+std::optional<double> env_double(const char* name, const char* requirement) {
+  return env_parse<double>(name, requirement);
+}
+
+std::optional<long long> env_int(const char* name, const char* requirement) {
+  return env_parse<long long>(name, requirement);
+}
+
+std::optional<std::uint64_t> env_uint(const char* name,
+                                      const char* requirement) {
+  return env_parse<std::uint64_t>(name, requirement);
+}
+
+void warn_env_ignored(const char* name, std::string_view value,
+                      const char* requirement) {
+  warn(name, value, requirement);
+}
+
+void reset_env_warnings_for_test() {
+  std::lock_guard<std::mutex> lock(warned_mu);
+  warned_vars().clear();
+}
+
+}  // namespace bgpatoms::core

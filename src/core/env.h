@@ -1,0 +1,39 @@
+// Strict parsing for numeric environment overrides.
+//
+// The knobs BGPATOMS_SCALE / BGPATOMS_THREADS / BGPATOMS_SEED silently
+// shaped every run, but were read with atof/atoi: "0.5abc" parsed as 0.5
+// and "junk" as 0 with no diagnostic. These helpers parse with
+// std::from_chars, reject trailing garbage, and warn once per variable on
+// stderr when an override is present but ignored.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bgpatoms::core {
+
+/// Full-string std::from_chars parse: nullopt on empty input, parse
+/// failure, or trailing garbage ("0.5abc", "12 ").
+std::optional<double> parse_double(std::string_view text);
+std::optional<long long> parse_int(std::string_view text);
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Reads environment variable `name` and strictly parses it. Returns
+/// nullopt when unset; when set but unparsable, warns once per variable
+/// on stderr (including `requirement`, e.g. "a positive integer") and
+/// returns nullopt.
+std::optional<double> env_double(const char* name, const char* requirement);
+std::optional<long long> env_int(const char* name, const char* requirement);
+std::optional<std::uint64_t> env_uint(const char* name,
+                                      const char* requirement);
+
+/// Warns once per variable that a *parsable* override is being ignored
+/// (e.g. BGPATOMS_THREADS=0). `value` is the rejected text.
+void warn_env_ignored(const char* name, std::string_view value,
+                      const char* requirement);
+
+/// Testing hook: forget which variables have already been warned about.
+void reset_env_warnings_for_test();
+
+}  // namespace bgpatoms::core

@@ -116,12 +116,17 @@ SweepJob quarter_job(net::Family family, double year, double scale,
 std::vector<QuarterMetrics> run_sweep(const std::vector<SweepJob>& jobs,
                                       const SweepOptions& options) {
   std::vector<QuarterMetrics> out(jobs.size());
-  TaskPool pool(options.threads);
-  pool.run(jobs.size(), [&](std::size_t i) {
+  const auto body = [&](std::size_t i) {
     CampaignConfig config = jobs[i].config;
     if (config.seed == 0) config.seed = derive_seed(options.base_seed, i);
     out[i] = quarter_metrics(run_campaign(config), config.year);
-  });
+  };
+  if (options.pool) {
+    options.pool->run(jobs.size(), body);
+  } else {
+    TaskPool pool(options.threads);
+    pool.run(jobs.size(), body);
+  }
   return out;
 }
 

@@ -100,13 +100,20 @@ struct SweepJob {
 SweepJob quarter_job(net::Family family, double year, double scale,
                      std::uint64_t seed);
 
+class TaskPool;
+
 struct SweepOptions {
   /// Worker threads; 0 resolves via BGPATOMS_THREADS / hardware (see
-  /// core/parallel.h).
+  /// core/parallel.h). Ignored when `pool` is set.
   int threads = 0;
   /// Seed base for jobs whose config.seed is 0: job i runs with
   /// derive_seed(base_seed, i), independent of thread count.
   std::uint64_t base_seed = 1;
+  /// Optional caller-owned worker pool. When set, run_sweep() schedules
+  /// onto it instead of spawning (and joining) a fresh TaskPool per call,
+  /// so a harness running many sweeps pays the thread-spawn cost once.
+  /// Results are bit-identical either way — seeds are per-job.
+  TaskPool* pool = nullptr;
 };
 
 /// Runs every job (each an independent share-nothing campaign) across a

@@ -2,15 +2,17 @@
 
 #include <cstdlib>
 
+#include "core/env.h"
 #include "net/rng.h"
 
 namespace bgpatoms::core {
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("BGPATOMS_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+  if (const auto v = env_int("BGPATOMS_THREADS", "a positive integer")) {
+    if (*v > 0) return static_cast<int>(*v);
+    warn_env_ignored("BGPATOMS_THREADS", std::getenv("BGPATOMS_THREADS"),
+                     "a positive integer");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

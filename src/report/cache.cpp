@@ -1,0 +1,128 @@
+#include "report/cache.h"
+
+#include <cstring>
+
+#include "core/parallel.h"
+
+namespace bgpatoms::report {
+namespace {
+
+template <typename T>
+void append_bits(std::string& key, const T& value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  key.append(buf, sizeof(T));
+}
+
+}  // namespace
+
+// Keep in sync with core::CampaignConfig / core::SanitizeConfig: every
+// field that influences the simulation must be keyed, or two distinct
+// configs would alias to one cached result.
+std::string campaign_cache_key(const core::CampaignConfig& c) {
+  std::string key;
+  key.reserve(96);
+  append_bits(key, static_cast<int>(c.family));
+  append_bits(key, c.year);
+  append_bits(key, c.scale);
+  append_bits(key, c.seed);
+  append_bits(key, c.with_updates);
+  append_bits(key, c.with_stability);
+  append_bits(key, c.sanitize.full_feed_fraction);
+  append_bits(key, c.sanitize.min_collectors);
+  append_bits(key, c.sanitize.min_peer_ases);
+  append_bits(key, c.sanitize.max_prefix_length);
+  append_bits(key, c.sanitize.addpath_artifact_threshold);
+  append_bits(key, c.sanitize.duplicate_threshold);
+  append_bits(key, c.sanitize.private_asn_threshold);
+  append_bits(key, c.sanitize.remove_abnormal_peers);
+  append_bits(key, c.sanitize.filter_prefixes);
+  append_bits(key, c.sanitize.full_feed_only);
+  append_bits(key, c.force_collectors);
+  append_bits(key, c.force_peers);
+  append_bits(key, c.force_full_feed_frac);
+  return key;
+}
+
+std::shared_ptr<const core::Campaign> CampaignCache::campaign(
+    const core::CampaignConfig& config) {
+  const std::string key = campaign_cache_key(config);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = campaigns_.find(key);
+    if (it != campaigns_.end()) {
+      ++stats_.campaign_hits;
+      return it->second;
+    }
+  }
+  auto run = std::make_shared<const core::Campaign>(
+      core::run_campaign(config));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = campaigns_.emplace(key, std::move(run));
+  ++stats_.campaign_misses;
+  return it->second;
+}
+
+core::QuarterMetrics CampaignCache::quarter(
+    const core::CampaignConfig& config) {
+  const std::string key = campaign_cache_key(config);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = quarters_.find(key);
+    if (it != quarters_.end()) {
+      ++stats_.quarter_hits;
+      return it->second;
+    }
+  }
+  const core::QuarterMetrics m =
+      core::quarter_metrics(core::run_campaign(config), config.year);
+  std::lock_guard<std::mutex> lock(mu_);
+  quarters_.emplace(key, m);
+  ++stats_.quarter_misses;
+  return m;
+}
+
+std::vector<core::QuarterMetrics> CampaignCache::sweep(
+    std::vector<core::SweepJob> jobs, const core::SweepOptions& options) {
+  // Finalize seeds exactly as core::run_sweep would, so the cache key is
+  // the configuration the job actually runs with.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].config.seed == 0) {
+      jobs[i].config.seed = core::derive_seed(options.base_seed, i);
+    }
+  }
+
+  std::vector<core::QuarterMetrics> out(jobs.size());
+  std::vector<core::SweepJob> missing;
+  std::vector<std::size_t> missing_at;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto it = quarters_.find(campaign_cache_key(jobs[i].config));
+      if (it != quarters_.end()) {
+        out[i] = it->second;
+        ++stats_.quarter_hits;
+      } else {
+        missing.push_back(jobs[i]);
+        missing_at.push_back(i);
+      }
+    }
+  }
+  if (missing.empty()) return out;
+
+  const auto fresh = core::run_sweep(missing, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t j = 0; j < fresh.size(); ++j) {
+    out[missing_at[j]] = fresh[j];
+    quarters_.emplace(campaign_cache_key(missing[j].config), fresh[j]);
+    ++stats_.quarter_misses;
+  }
+  return out;
+}
+
+CampaignCache::Stats CampaignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,54 @@
+#include "report/check.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bgpatoms::report {
+namespace {
+
+std::string relation_text(double lhs, const char* op, double rhs) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g %s %.6g", lhs, op, rhs);
+  return buf;
+}
+
+Check make(std::string name, bool passed, std::string relation,
+           std::string observed, std::string paper) {
+  Check c;
+  c.name = std::move(name);
+  c.relation = std::move(relation);
+  c.observed = std::move(observed);
+  c.paper = std::move(paper);
+  c.passed = passed;
+  return c;
+}
+
+}  // namespace
+
+Check Check::that(std::string name, bool passed, std::string observed,
+                  std::string paper) {
+  return make(std::move(name), passed, "", std::move(observed),
+              std::move(paper));
+}
+
+Check Check::less(std::string name, double lhs, double rhs,
+                  std::string observed, std::string paper) {
+  return make(std::move(name), lhs < rhs, relation_text(lhs, "<", rhs),
+              std::move(observed), std::move(paper));
+}
+
+Check Check::greater(std::string name, double lhs, double rhs,
+                     std::string observed, std::string paper) {
+  return make(std::move(name), lhs > rhs, relation_text(lhs, ">", rhs),
+              std::move(observed), std::move(paper));
+}
+
+Check Check::near(std::string name, double value, double target,
+                  double tolerance, std::string observed, std::string paper) {
+  const double diff = std::fabs(value - target);
+  return make(std::move(name), diff <= tolerance,
+              relation_text(diff, "<=", tolerance), std::move(observed),
+              std::move(paper));
+}
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,43 @@
+// First-class paper-shape assertions.
+//
+// The pre-refactor benches printed "yes"/"NO" from inline comparisons and
+// could silently drift: nothing failed when a shape stopped reproducing.
+// A Check captures the assertion itself — name, the expected relation,
+// the observed values, the paper's published shape — and its pass/fail
+// state, so bga_bench --strict-checks can turn every "NO" into a build
+// failure and the JSON report records the full trajectory.
+#pragma once
+
+#include <string>
+
+namespace bgpatoms::report {
+
+struct Check {
+  /// What the paper claims, e.g. "distance-1 share falls over the period".
+  std::string name;
+  /// The evaluated relation with observed numbers substituted, e.g.
+  /// "0.3137 < 0.5522". Empty for boolean checks built via that().
+  std::string relation;
+  /// Human-readable observed values, e.g. "60% -> 31%".
+  std::string observed;
+  /// The paper's published shape, e.g. "paper 45% -> 20%".
+  std::string paper;
+  bool passed = false;
+
+  /// A check whose relation was evaluated by the caller.
+  static Check that(std::string name, bool passed, std::string observed,
+                    std::string paper = "");
+
+  /// Numeric relation checks; the relation string records both operands.
+  /// NaN operands always fail (as every comparison with NaN is false).
+  static Check less(std::string name, double lhs, double rhs,
+                    std::string observed, std::string paper = "");
+  static Check greater(std::string name, double lhs, double rhs,
+                       std::string observed, std::string paper = "");
+  /// |value - target| <= tolerance.
+  static Check near(std::string name, double value, double target,
+                    double tolerance, std::string observed,
+                    std::string paper = "");
+};
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,66 @@
+// Minimal JSON document model: enough to emit the machine-readable run
+// report and to parse it back (round-trip tested), with no external
+// dependency. Objects preserve insertion order so emitted reports are
+// byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace bgpatoms::report::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : data_(static_cast<double>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Pretty-printed serialization (2-space indent). Non-finite numbers
+  /// serialize as null — JSON has no NaN/Infinity.
+  std::string serialize() const;
+
+  /// Strict recursive-descent parse of one JSON document; throws
+  /// std::runtime_error (with byte offset) on malformed input or
+  /// trailing garbage.
+  static Value parse(std::string_view text);
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+}  // namespace bgpatoms::report::json

@@ -1,0 +1,48 @@
+// One shared resolution of the run parameters every harness entry point
+// needs: workload scale, worker threads, seed override. Precedence is
+// explicit flag > environment variable > default; flag values must parse
+// strictly (an invalid flag is a hard error), while an invalid
+// environment value is ignored with a once-per-variable stderr warning
+// (core/env.h).
+//
+// This replaces the per-bench BGPATOMS_SCALE parsing that used to live in
+// bench/bench_util.h and the ad-hoc --threads handling in the CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace bgpatoms::report {
+
+struct RunOptions {
+  /// Workload multiplier applied to every experiment's base scale.
+  double scale_multiplier = 1.0;
+  /// Worker threads (0 = resolve via hardware, see core::resolve_threads).
+  int threads = 0;
+  /// Optional seed-universe override: when set, every experiment's
+  /// campaign seed s becomes derive_seed(*seed, s), re-running the whole
+  /// suite on an independent random universe. Unset = paper seeds.
+  std::optional<std::uint64_t> seed;
+  /// Fail the run (non-zero exit) when any shape check fails.
+  bool strict_checks = false;
+};
+
+/// Thrown when an explicit flag value does not parse.
+class OptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Resolves scale/threads/seed from optional flag strings (nullopt =
+/// flag absent) and the BGPATOMS_SCALE / BGPATOMS_THREADS / BGPATOMS_SEED
+/// environment variables. Throws OptionError on a malformed or
+/// out-of-range flag value; malformed environment values warn once on
+/// stderr and fall back to defaults.
+RunOptions resolve_run_options(
+    const std::optional<std::string>& scale_flag = std::nullopt,
+    const std::optional<std::string>& threads_flag = std::nullopt,
+    const std::optional<std::string>& seed_flag = std::nullopt);
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,11 @@
+#include "report/table.h"
+
+namespace bgpatoms::report {
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns.size());
+  rows.push_back(std::move(cells));
+  return *this;
+}
+
+}  // namespace bgpatoms::report

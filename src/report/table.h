@@ -1,0 +1,35 @@
+// Structured experiment output: tables and scalar metrics.
+//
+// Every figure/table of the paper declares its numbers as report::Table
+// rows (rendered to the terminal by report/render and to JSON by
+// report/json) instead of hand-rolled printf layouts, so the same result
+// object backs the human-readable run log, the machine-readable
+// BENCH_*.json trajectory and the strict-check smoke test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgpatoms::report {
+
+struct Table {
+  /// Stable slug used in JSON and by tooling, e.g. "trend", "growth".
+  std::string id;
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Appends a row, padding or truncating to the column count so a
+  /// mismatched emitter can never skew the rendered alignment.
+  Table& add_row(std::vector<std::string> cells);
+};
+
+/// A named scalar an experiment wants tracked over time (wall seconds,
+/// cache hits, speedups, event counts). `note` carries units or context.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string note;
+};
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,298 @@
+// The report layer: experiment registry, Check semantics, JSON
+// round-trip, the shared campaign cache, and run-option resolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "core/env.h"
+#include "core/longitudinal.h"
+#include "core/parallel.h"
+#include "report/cache.h"
+#include "report/check.h"
+#include "report/experiment.h"
+#include "report/json.h"
+#include "report/options.h"
+
+namespace bgpatoms {
+namespace {
+
+using report::Check;
+using report::Experiment;
+using report::Registry;
+
+Experiment make(const char* id, const char* name = "", const char* title = "",
+                const char* section = "") {
+  Experiment e;
+  e.id = id;
+  e.section = section;
+  e.name = name;
+  e.title = title;
+  e.run = [](report::Context&) {};
+  return e;
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, FindAndOrder) {
+  Registry r;
+  r.add(make("table1", "Table 1"));
+  r.add(make("fig04", "Figure 4"));
+  ASSERT_NE(r.find("fig04"), nullptr);
+  EXPECT_EQ(r.find("fig04")->name, "Figure 4");
+  EXPECT_EQ(r.find("nope"), nullptr);
+  const auto all = r.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->id, "table1");
+  EXPECT_EQ(all[1]->id, "fig04");
+}
+
+TEST(Registry, RejectsDuplicateAndEmptyIds) {
+  Registry r;
+  r.add(make("fig01"));
+  EXPECT_THROW(r.add(make("fig01")), std::invalid_argument);
+  EXPECT_THROW(r.add(make("")), std::invalid_argument);
+}
+
+TEST(Registry, MatchIsCaseInsensitiveOverAllFields) {
+  Registry r;
+  r.add(make("table1", "Table 1", "General statistics", "§4.1"));
+  r.add(make("fig05", "Figure 5", "Stability trend", "§4.4"));
+  r.add(make("fig09", "Figure 9", "IPv6 stability trend", "§5.2"));
+
+  EXPECT_EQ(r.match({"FIG05"}).size(), 1u);          // id
+  EXPECT_EQ(r.match({"stability"}).size(), 2u);      // title
+  EXPECT_EQ(r.match({"§4."}).size(), 2u);            // section
+  EXPECT_EQ(r.match({"table1", "fig05"}).size(), 2u);  // union
+  EXPECT_EQ(r.match({}).size(), 3u);                 // empty = all
+  EXPECT_TRUE(r.match({"zzz"}).empty());
+}
+
+// ------------------------------------------------------------------ checks
+
+TEST(Check, BooleanFactory) {
+  EXPECT_TRUE(Check::that("x", true, "obs").passed);
+  EXPECT_FALSE(Check::that("x", false, "obs").passed);
+  EXPECT_EQ(Check::that("x", true, "obs", "paper").paper, "paper");
+}
+
+TEST(Check, NumericRelations) {
+  EXPECT_TRUE(Check::less("a", 1.0, 2.0, "").passed);
+  EXPECT_FALSE(Check::less("a", 2.0, 1.0, "").passed);
+  EXPECT_FALSE(Check::less("a", 1.0, 1.0, "").passed);  // strict
+  EXPECT_TRUE(Check::greater("b", 2.0, 1.0, "").passed);
+  EXPECT_TRUE(Check::near("c", 1.05, 1.0, 0.1, "").passed);
+  EXPECT_FALSE(Check::near("c", 1.2, 1.0, 0.1, "").passed);
+  // The relation string records the operands for the rendered output.
+  EXPECT_NE(Check::less("a", 0.25, 0.5, "").relation.find("0.25"),
+            std::string::npos);
+}
+
+TEST(Check, NanAlwaysFails) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Check::less("a", nan, 1.0, "").passed);
+  EXPECT_FALSE(Check::greater("a", nan, 0.0, "").passed);
+  EXPECT_FALSE(Check::near("a", nan, 0.0, 10.0, "").passed);
+}
+
+// The exact relations the ported experiments assert (fig04 / fig05 /
+// fig12 shapes), pinned so a refactor of the experiment code cannot
+// silently weaken them.
+TEST(Check, PaperShapeRelations) {
+  // fig04: distance-1 share falls by more than 5pp over the period.
+  const double first_d1 = 0.5522, last_d1 = 0.3137;
+  EXPECT_TRUE(Check::less("d1 falls", last_d1, first_d1 - 0.05, "").passed);
+  EXPECT_FALSE(Check::less("d1 falls", 0.52, first_d1 - 0.05, "").passed);
+  // fig05: pre-2023 floor above 90%, final year dips below the floor.
+  const double min_cam8 = 0.936, last_cam8 = 0.819;
+  EXPECT_TRUE(Check::greater("floor", min_cam8, 0.90, "").passed);
+  EXPECT_TRUE(Check::less("dip", last_cam8, min_cam8, "").passed);
+  // fig12: the full-feed threshold grows by more than 2x.
+  EXPECT_TRUE(Check::greater("growth", 6.3, 2.0, "").passed);
+}
+
+// -------------------------------------------------------------------- JSON
+
+TEST(Json, RoundTripPreservesStructure) {
+  report::json::Object inner;
+  inner.emplace_back("name", report::json::Value("atoms grow"));
+  inner.emplace_back("passed", report::json::Value(true));
+  inner.emplace_back("value", report::json::Value(0.315));
+  report::json::Array checks;
+  checks.emplace_back(std::move(inner));
+  report::json::Object root;
+  root.emplace_back("schema", report::json::Value("bgpatoms-report/1"));
+  root.emplace_back("count", report::json::Value(3));
+  root.emplace_back("seed", report::json::Value(nullptr));
+  root.emplace_back("checks", report::json::Value(std::move(checks)));
+  const report::json::Value doc{std::move(root)};
+
+  const auto parsed = report::json::Value::parse(doc.serialize());
+  EXPECT_EQ(parsed, doc);
+  ASSERT_NE(parsed.find("checks"), nullptr);
+  const auto& check = parsed.find("checks")->as_array().at(0);
+  EXPECT_EQ(check.find("name")->as_string(), "atoms grow");
+  EXPECT_TRUE(check.find("passed")->as_bool());
+  EXPECT_DOUBLE_EQ(check.find("value")->as_number(), 0.315);
+  EXPECT_TRUE(parsed.find("seed")->is_null());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const report::json::Value v(std::string("§4.3 \"quoted\"\nline\ttab"));
+  EXPECT_EQ(report::json::Value::parse(v.serialize()), v);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(report::json::Value::parse("{"), std::runtime_error);
+  EXPECT_THROW(report::json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(report::json::Value::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(report::json::Value::parse("'single'"), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- cache
+
+TEST(CampaignCache, KeyCoversConfigFields) {
+  core::CampaignConfig a;
+  a.year = 2004.0;
+  a.scale = 0.002;
+  a.seed = 42;
+  core::CampaignConfig b = a;
+  EXPECT_EQ(report::campaign_cache_key(a), report::campaign_cache_key(b));
+  b.seed = 43;
+  EXPECT_NE(report::campaign_cache_key(a), report::campaign_cache_key(b));
+  b = a;
+  b.with_updates = true;
+  EXPECT_NE(report::campaign_cache_key(a), report::campaign_cache_key(b));
+  b = a;
+  b.sanitize.min_peer_ases = 1;
+  EXPECT_NE(report::campaign_cache_key(a), report::campaign_cache_key(b));
+}
+
+TEST(CampaignCache, SecondCampaignRequestIsAPointerIdenticalHit) {
+  report::CampaignCache cache;
+  core::CampaignConfig config;
+  config.year = 2004.0;
+  config.scale = 0.002;
+  config.seed = 42;
+  const auto first = cache.campaign(config);
+  const auto second = cache.campaign(config);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().campaign_hits, 1u);
+  EXPECT_EQ(cache.stats().campaign_misses, 1u);
+}
+
+TEST(CampaignCache, SweepHitsMatchColdRunBitExactly) {
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back(core::quarter_job(net::Family::kIPv4, 2010.0, 0.002, 11));
+  jobs.push_back(core::quarter_job(net::Family::kIPv4, 2012.0, 0.002, 12));
+  core::SweepOptions options;
+  options.threads = 1;
+
+  const auto cold = core::run_sweep(jobs, options);
+
+  report::CampaignCache cache;
+  const auto warm1 = cache.sweep(jobs, options);
+  EXPECT_EQ(cache.stats().quarter_misses, 2u);
+  const auto warm2 = cache.sweep(jobs, options);
+  EXPECT_EQ(cache.stats().quarter_hits, 2u);
+  EXPECT_EQ(warm1, cold);
+  EXPECT_EQ(warm2, cold);
+}
+
+TEST(CampaignCache, SweepDerivesSeedsAtOriginalIndices) {
+  // A job with seed 0 takes derive_seed(base_seed, i) at its position i —
+  // also when an earlier job in the list is already cached.
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back(core::quarter_job(net::Family::kIPv4, 2010.0, 0.002, 21));
+  core::SweepJob derived;
+  derived.config.year = 2012.0;
+  derived.config.scale = 0.002;
+  derived.config.seed = 0;  // finalized from base_seed and index
+  jobs.push_back(derived);
+  core::SweepOptions options;
+  options.threads = 1;
+  options.base_seed = 7;
+
+  const auto cold = core::run_sweep(jobs, options);
+  report::CampaignCache cache;
+  cache.sweep({jobs[0]}, options);  // prime only the first job
+  const auto mixed = cache.sweep(jobs, options);
+  EXPECT_EQ(mixed, cold);
+  EXPECT_EQ(cache.stats().quarter_hits, 1u);
+}
+
+// ----------------------------------------------------------------- options
+
+class RunOptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("BGPATOMS_SCALE");
+    unsetenv("BGPATOMS_SEED");
+    core::reset_env_warnings_for_test();
+  }
+  void TearDown() override {
+    unsetenv("BGPATOMS_SCALE");
+    unsetenv("BGPATOMS_SEED");
+    core::reset_env_warnings_for_test();
+  }
+};
+
+TEST_F(RunOptionsTest, DefaultsWhenNothingIsSet) {
+  const auto options = report::resolve_run_options();
+  EXPECT_DOUBLE_EQ(options.scale_multiplier, 1.0);
+  EXPECT_EQ(options.threads, 0);
+  EXPECT_FALSE(options.seed.has_value());
+  EXPECT_FALSE(options.strict_checks);
+}
+
+TEST_F(RunOptionsTest, EnvironmentIsRead) {
+  setenv("BGPATOMS_SCALE", "0.25", 1);
+  setenv("BGPATOMS_SEED", "99", 1);
+  const auto options = report::resolve_run_options();
+  EXPECT_DOUBLE_EQ(options.scale_multiplier, 0.25);
+  ASSERT_TRUE(options.seed.has_value());
+  EXPECT_EQ(*options.seed, 99u);
+}
+
+TEST_F(RunOptionsTest, FlagsTakePrecedenceOverEnvironment) {
+  setenv("BGPATOMS_SCALE", "0.25", 1);
+  setenv("BGPATOMS_SEED", "99", 1);
+  const auto options =
+      report::resolve_run_options(std::string("0.5"), std::string("3"),
+                                  std::string("7"));
+  EXPECT_DOUBLE_EQ(options.scale_multiplier, 0.5);
+  EXPECT_EQ(options.threads, 3);
+  EXPECT_EQ(*options.seed, 7u);
+}
+
+TEST_F(RunOptionsTest, MalformedFlagThrows) {
+  EXPECT_THROW(report::resolve_run_options(std::string("0.5abc")),
+               report::OptionError);
+  EXPECT_THROW(report::resolve_run_options(std::nullopt, std::string("two")),
+               report::OptionError);
+  EXPECT_THROW(report::resolve_run_options(std::string("-1")),
+               report::OptionError);
+}
+
+TEST_F(RunOptionsTest, MalformedEnvironmentFallsBackToDefault) {
+  setenv("BGPATOMS_SCALE", "0.5abc", 1);
+  const auto options = report::resolve_run_options();
+  EXPECT_DOUBLE_EQ(options.scale_multiplier, 1.0);
+}
+
+// ------------------------------------------------------------- env parsing
+
+TEST(EnvParsing, RejectsTrailingGarbageAndEmpty) {
+  EXPECT_EQ(core::parse_double("0.5abc"), std::nullopt);
+  EXPECT_EQ(core::parse_double("12 "), std::nullopt);
+  EXPECT_EQ(core::parse_double(""), std::nullopt);
+  EXPECT_DOUBLE_EQ(*core::parse_double("0.25"), 0.25);
+  EXPECT_EQ(core::parse_int("4x"), std::nullopt);
+  EXPECT_EQ(*core::parse_int("-4"), -4);
+  EXPECT_EQ(core::parse_uint("-4"), std::nullopt);
+  EXPECT_EQ(*core::parse_uint("42"), 42u);
+}
+
+}  // namespace
+}  // namespace bgpatoms
