@@ -29,7 +29,7 @@ void run(Context& ctx) {
   base.scale = scale;
   base.seed = ctx.seed(42);
   const auto& campaign = ctx.campaign(base);
-  const auto& ds = campaign.sim->dataset();
+  const auto& ds = campaign.dataset();
 
   std::vector<Variant> variants;
   variants.push_back({"full pipeline (baseline)", {}});

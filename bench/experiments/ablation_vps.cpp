@@ -22,7 +22,7 @@ void run(Context& ctx) {
   config.scale = scale;
   config.seed = ctx.seed(42);
   const auto& campaign = ctx.campaign(config);
-  const auto& full_ds = campaign.sim->dataset();
+  const auto& full_ds = campaign.dataset();
   const std::size_t total_peers = full_ds.snapshots[0].peers.size();
 
   auto& table = ctx.add_table(

@@ -28,7 +28,7 @@ void run(Context& ctx) {
   config.seed = ctx.seed(42);
   const auto& c = ctx.campaign(config);
   const auto& report = c.sanitized.front().report;
-  const auto& vps = c.sim->topology().vantage_points;
+  const auto& vps = c.topology.vantage_points;
 
   auto& table = ctx.add_table(
       "removed",

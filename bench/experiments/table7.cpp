@@ -19,7 +19,7 @@ void run(Context& ctx) {
   base.scale = scale;
   base.seed = ctx.seed(42);
   const auto& campaign = ctx.campaign(base);
-  const auto& ds = campaign.sim->dataset();
+  const auto& ds = campaign.dataset();
 
   ctx.note(
       "Paper (Oct 2025 snapshot, real Internet): 1,028,444 at the adopted\n"

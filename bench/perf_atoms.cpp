@@ -24,7 +24,7 @@ const core::Campaign& campaign() {
 }
 
 void BM_Sanitize(benchmark::State& state) {
-  const auto& ds = campaign().sim->dataset();
+  const auto& ds = campaign().dataset();
   std::size_t records = 0;
   for (auto _ : state) {
     const auto snap = core::sanitize(ds, 0);
@@ -73,7 +73,7 @@ void BM_Stability(benchmark::State& state) {
 BENCHMARK(BM_Stability)->Unit(benchmark::kMillisecond);
 
 void BM_Propagation(benchmark::State& state) {
-  const auto& topo = campaign().sim->topology();
+  const auto& topo = campaign().topology;
   routing::Propagator prop(topo.graph);
   routing::RouteTable table;
   topo::NodeId origin = 0;

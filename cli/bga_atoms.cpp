@@ -1,34 +1,49 @@
-// bga_atoms — compute policy atoms from a BGA archive.
+// bga_atoms — compute policy atoms from BGA archives, streaming.
 //
 //   bga_atoms campaign.bga                       # headline statistics
 //   bga_atoms campaign.bga --csv atoms.csv       # one row per atom
 //   bga_atoms campaign.bga --formation           # Table-2-style histogram
 //   bga_atoms campaign.bga --stability           # CAM/MPM across snapshots
 //   bga_atoms campaign.bga --min-peers 4 --min-collectors 2
+//   bga_atoms q1.bga q2.bga q3.bga --trend       # longitudinal run
+//
+// Archives are never materialized: sections stream through
+// bgp::ArchiveView into core::analyze(), so a v2 archive is processed
+// with at most one snapshot section plus one update chunk resident —
+// peak memory is bounded by the largest section, not the file.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bgp/archive_reader.h"
+#include "bgp/archive_view.h"
+#include "bgp/io.h"
 #include "cli/args.h"
+#include "core/analyze.h"
 #include "core/formation.h"
 #include "core/stability.h"
 #include "core/stats.h"
+#include "report/options.h"
 
 using namespace bgpatoms;
 
 namespace {
 
 constexpr char kUsage[] =
-    "usage: bga_atoms <archive.bga> [options]\n"
+    "usage: bga_atoms <archive.bga> [archive2.bga ...] [options]\n"
     "  --snapshot <i>       snapshot index to analyze (default 0)\n"
     "  --csv <file>         write one CSV row per atom\n"
     "  --formation          print the formation-distance histogram\n"
-    "  --stability          compare snapshot 0 against each later snapshot\n"
+    "  --stability          compare the reference snapshot against each\n"
+    "                       later snapshot\n"
+    "  --trend              one summary row per archive (longitudinal\n"
+    "                       runs over multiple campaign files)\n"
     "  --min-peers <n>      visibility threshold, peer ASes (default 4)\n"
     "  --min-collectors <n> visibility threshold, collectors (default 2)\n"
     "  --no-filter          disable prefix filtering (2002-style)\n"
-    "  --threads <n>        worker threads for atom grouping (default: the\n"
-    "                       BGPATOMS_THREADS env var, else all hardware\n"
-    "                       threads; results are identical for any count)\n";
+    "  --threads <n>        worker threads for atom grouping; precedence\n"
+    "                       is flag > BGPATOMS_THREADS > all hardware\n"
+    "                       threads (report/options.h); results are\n"
+    "                       identical for any count\n";
 
 void write_csv(const std::string& path, const core::SanitizedSnapshot& snap,
                const core::AtomSet& atoms) {
@@ -51,43 +66,98 @@ void write_csv(const std::string& path, const core::SanitizedSnapshot& snap,
   std::fclose(f);
 }
 
+/// One summary row per archive: the longitudinal mode. Each archive is a
+/// full streamed analysis pass with only the reference products resident.
+int run_trend(const std::vector<std::string>& paths,
+              const core::AnalysisConfig& base) {
+  std::printf("%-28s %9s %9s %8s %8s %6s %8s %8s\n", "archive", "prefixes",
+              "atoms", "ases", "mean", "snaps", "cam_last", "mpm_last");
+  for (const auto& path : paths) {
+    core::AnalysisConfig config = base;
+    config.keep_all = false;
+    core::AnalysisResult r;
+    try {
+      bgp::ArchiveView view(path);
+      r = core::analyze(view, &view, config);
+    } catch (const bgp::ArchiveError& e) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    if (!r.has_reference()) {
+      std::fprintf(stderr, "error: %s: archive has %zu snapshot(s)\n",
+                   path.c_str(), r.snapshots_seen);
+      return 1;
+    }
+    char cam[16] = "-", mpm[16] = "-";
+    if (!r.stability.empty()) {
+      std::snprintf(cam, sizeof cam, "%.1f%%",
+                    100 * r.stability.back().result.cam);
+      std::snprintf(mpm, sizeof mpm, "%.1f%%",
+                    100 * r.stability.back().result.mpm);
+    }
+    std::printf("%-28s %9zu %9zu %8zu %8.2f %6zu %8s %8s\n", path.c_str(),
+                r.stats.prefixes, r.stats.atoms, r.stats.ases,
+                r.stats.mean_atom_size, r.snapshots_seen, cam, mpm);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   args.usage_if(args.positional().empty(), kUsage);
 
-  // Stream the archive in section by section (bounded peak memory for v2)
-  // and assemble the dataset the sanitizer needs.
-  bgp::Dataset ds;
+  core::AnalysisConfig config;
+  config.sanitize.min_peer_ases =
+      static_cast<int>(args.get_int("min-peers", 4));
+  config.sanitize.min_collectors =
+      static_cast<int>(args.get_int("min-collectors", 2));
+  if (args.has("no-filter")) {
+    config.sanitize.filter_prefixes = false;
+    config.sanitize.max_prefix_length = 128;
+  }
+
+  // Unified thread resolution: flag > BGPATOMS_THREADS > hardware, shared
+  // with bga_bench and the library (report/options.h).
   try {
-    bgp::ArchiveReader reader(args.positional()[0]);
-    ds = reader.read_all();
-  } catch (const bgp::ArchiveError& e) {
+    const auto threads_flag =
+        args.has("threads") ? std::optional<std::string>(args.get("threads"))
+                            : std::nullopt;
+    config.atoms.threads =
+        report::resolve_run_options(std::nullopt, threads_flag).threads;
+  } catch (const report::OptionError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
-  core::SanitizeConfig config;
-  config.min_peer_ases = static_cast<int>(args.get_int("min-peers", 4));
-  config.min_collectors = static_cast<int>(args.get_int("min-collectors", 2));
-  if (args.has("no-filter")) {
-    config.filter_prefixes = false;
-    config.max_prefix_length = 128;
+  const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
+  config.reference_snapshot = index;
+  config.with_stability = args.has("stability");
+
+  if (args.has("trend")) {
+    return run_trend(args.positional(), config);
   }
 
-  const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
-  if (index >= ds.snapshots.size()) {
-    std::fprintf(stderr, "error: archive has %zu snapshot(s)\n",
-                 ds.snapshots.size());
+  // Single-archive mode: stream the file through one analysis pass; only
+  // the reference snapshot's sanitized tables and atoms stay resident.
+  core::AnalysisResult r;
+  try {
+    bgp::ArchiveView view(args.positional()[0]);
+    r = core::analyze(view, nullptr, config);
+  } catch (const bgp::ArchiveError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  core::AtomOptions atom_options;
-  atom_options.threads = static_cast<int>(args.get_int("threads", 0));
+  if (!r.has_reference()) {
+    std::fprintf(stderr, "error: archive has %zu snapshot(s)\n",
+                 r.snapshots_seen);
+    return 1;
+  }
 
-  const auto snap = core::sanitize(ds, index, config);
-  const auto atoms = core::compute_atoms(snap, atom_options);
-  const auto stats = core::general_stats(atoms);
+  const auto& snap = r.reference();
+  const auto& atoms = r.reference_atoms();
+  const auto& stats = r.stats;
 
   std::printf("snapshot %zu (t=%lld): %zu full-feed peers of %zu\n", index,
               static_cast<long long>(snap.timestamp),
@@ -108,15 +178,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (args.has("stability") && ds.snapshots.size() > 1) {
+  if (args.has("stability") && !r.stability.empty()) {
     std::printf("\nstability vs snapshot 0:\n");
-    for (std::size_t i = 1; i < ds.snapshots.size(); ++i) {
-      const auto later = core::sanitize(ds, i, config);
-      const auto later_atoms = core::compute_atoms(later, atom_options);
-      const auto r = core::stability(atoms, later_atoms);
-      std::printf("  snapshot %zu (t=%lld): CAM %.1f%%  MPM %.1f%%\n", i,
-                  static_cast<long long>(later.timestamp), 100 * r.cam,
-                  100 * r.mpm);
+    for (const auto& s : r.stability) {
+      std::printf("  snapshot %zu (t=%lld): CAM %.1f%%  MPM %.1f%%\n", s.index,
+                  static_cast<long long>(s.timestamp), 100 * s.result.cam,
+                  100 * s.result.mpm);
     }
   }
 

@@ -9,11 +9,13 @@
 // decoded one CRC-checked section at a time, so even a multi-GB archive
 // needs only dictionary + one-section memory and --text starts printing
 // before the file tail is read.
+#include <cstdint>
 #include <cstdio>
 #include <unordered_set>
 
 #include "bgp/archive_reader.h"
 #include "cli/args.h"
+#include "net/prefix.h"
 #include "stream/file_reader.h"
 
 using namespace bgpatoms;
@@ -23,9 +25,17 @@ namespace {
 constexpr char kUsage[] =
     "usage: bga_dump <archive.bga> [options]\n"
     "  --text             dump records as bgpdump-style pipe lines\n"
+    "  --filter           alias for --text (use with the filters below)\n"
     "  --peers            per-peer table statistics\n"
-    "  --collector <c>    restrict --text to one collector\n"
-    "  --peer-asn <asn>   restrict --text to one peer AS\n";
+    "filters (--text/--filter mode; the archive is still streamed section\n"
+    "by section, non-matching records are skipped as they pass):\n"
+    "  --collector <c>    restrict to one collector\n"
+    "  --peer-asn <asn>   restrict to one peer AS\n"
+    "  --prefix <p>       restrict to prefixes within <p> (e.g. 10.0.0.0/8)\n"
+    "  --time-begin <t>   drop records with timestamp < t\n"
+    "  --time-end <t>     drop records with timestamp >= t\n"
+    "  --rib-only         RIB rows only (no update NLRIs)\n"
+    "  --updates-only     update NLRIs only (no RIB rows)\n";
 
 void print_summary(bgp::ArchiveReader& reader) {
   std::printf("format:      BGA v%d\n", static_cast<int>(reader.version()));
@@ -106,12 +116,25 @@ int main(int argc, char** argv) {
   const std::string& path = args.positional()[0];
 
   try {
-    if (args.has("text")) {
+    if (args.has("text") || args.has("filter")) {
       stream::Filters filters;
       if (args.has("collector")) filters.collector = args.get("collector");
       if (args.has("peer-asn")) {
         filters.peer_asn = static_cast<net::Asn>(args.get_int("peer-asn", 0));
       }
+      if (args.has("prefix")) {
+        const auto p = net::Prefix::parse(args.get("prefix"));
+        if (!p) {
+          std::fprintf(stderr, "error: bad --prefix %s\n",
+                       args.get("prefix").c_str());
+          return 1;
+        }
+        filters.prefix_within = *p;
+      }
+      filters.time_begin = args.get_int("time-begin", INT64_MIN);
+      filters.time_end = args.get_int("time-end", INT64_MAX);
+      if (args.has("rib-only")) filters.include_updates = false;
+      if (args.has("updates-only")) filters.include_rib = false;
       print_text(path, filters);
       return 0;
     }

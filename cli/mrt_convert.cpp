@@ -8,8 +8,10 @@
 // --to-bga imports any uncompressed MRT stream (RouteViews / RIS RIB and
 // update files included) into a BGA archive ready for bga_atoms.
 #include <cstdio>
+#include <vector>
 
 #include "bgp/archive.h"
+#include "bgp/archive_view.h"
 #include "bgp/mrt.h"
 #include "cli/args.h"
 
@@ -24,15 +26,19 @@ constexpr char kUsage[] =
     "  --snapshot <i>      snapshot index to export (default 0)\n"
     "  --updates           append the BGP4MP update trace (--to-mrt)\n";
 
+/// Streamed export: the archive flows through bgp::ArchiveView, so only
+/// the snapshot being encoded (plus one update chunk) is ever resident —
+/// never the whole dataset.
 int to_mrt(const cli::Args& args, const std::vector<std::string>& files) {
-  const bgp::Dataset ds = bgp::read_archive_file(files[0]);
+  bgp::ArchiveView view(files[0]);
 
   std::uint16_t collector = 0;
   if (args.has("collector")) {
     const auto name = args.get("collector");
+    const auto& collectors = view.collectors();
     bool found = false;
-    for (std::size_t i = 0; i < ds.collectors.size(); ++i) {
-      if (ds.collectors[i] == name) {
+    for (std::size_t i = 0; i < collectors.size(); ++i) {
+      if (collectors[i] == name) {
         collector = static_cast<std::uint16_t>(i);
         found = true;
       }
@@ -43,21 +49,54 @@ int to_mrt(const cli::Args& args, const std::vector<std::string>& files) {
     }
   }
   const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
+  const bool with_updates = args.has("updates");
 
-  auto bytes = bgp::write_mrt_rib(ds, index, collector);
-  if (args.has("updates")) {
-    const auto updates = bgp::write_mrt_updates(ds, collector);
-    bytes.insert(bytes.end(), updates.begin(), updates.end());
-  }
   std::FILE* f = std::fopen(files[1].c_str(), "wb");
-  if (!f || std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+  if (!f) {
     std::fprintf(stderr, "error: cannot write %s\n", files[1].c_str());
     return 1;
   }
+  std::size_t written = 0;
+  const auto emit = [&](const std::vector<std::uint8_t>& bytes) {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      throw bgp::MrtError("short write: " + files[1]);
+    }
+    written += bytes.size();
+  };
+
+  // Update records carry peer indices into the first snapshot's table;
+  // keep a copy of those identities before the snapshot is dropped.
+  std::vector<bgp::PeerIdentity> first_peers;
+  bool exported = false;
+  std::size_t count = 0;
+  while (const bgp::Snapshot* snap = view.next_snapshot()) {
+    if (count == 0 && with_updates) {
+      for (const auto& feed : snap->peers) first_peers.push_back(feed.peer);
+    }
+    if (count == index) {
+      emit(bgp::write_mrt_rib(view, *snap, collector));
+      exported = true;
+    }
+    ++count;
+  }
+  if (!exported) {
+    std::fclose(f);
+    std::fprintf(stderr, "error: archive has %zu snapshot(s)\n", count);
+    return 1;
+  }
+  if (with_updates) {
+    std::vector<std::uint8_t> buf;
+    for (auto chunk = view.next_chunk(); !chunk.empty();
+         chunk = view.next_chunk()) {
+      buf.clear();
+      bgp::append_mrt_updates(buf, view, first_peers, chunk, collector);
+      emit(buf);
+    }
+  }
   std::fclose(f);
   std::fprintf(stderr, "wrote %s (%zu bytes, collector %s)\n",
-               files[1].c_str(), bytes.size(),
-               ds.collectors[collector].c_str());
+               files[1].c_str(), written,
+               view.collectors()[collector].c_str());
   return 0;
 }
 

@@ -5,7 +5,8 @@
 // pipeline:
 //   * routing::Simulator emits datasets (one per measurement campaign),
 //   * bgp::ArchiveWriter/-Reader serialize them ("BGA" files), and
-//   * core::Sanitizer / core::AtomComputation consume them.
+//   * the analysis stack consumes them through bgp::DatasetView (views.h);
+//     streamed archives skip the Dataset entirely via bgp::ArchiveView.
 #pragma once
 
 #include <cstdint>
@@ -34,14 +35,6 @@ struct Dataset {
 
   std::vector<Snapshot> snapshots;
   std::vector<UpdateRecord> updates;  // sorted by timestamp
-
-  /// Snapshot with the given timestamp, or nullptr.
-  const Snapshot* snapshot_at(Timestamp t) const {
-    for (const auto& s : snapshots) {
-      if (s.timestamp == t) return &s;
-    }
-    return nullptr;
-  }
 
   /// Number of RIB records summed over all peers of `snap`.
   static std::size_t record_count(const Snapshot& snap) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "bgp/views.h"
 #include "bgp/wire.h"
 
 namespace bgpatoms::bgp {
@@ -142,7 +143,13 @@ class Reader {
 
 std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
                                         std::uint16_t collector) {
-  const auto& snap = ds.snapshots.at(index);
+  const DatasetView view(ds);
+  return write_mrt_rib(view, ds.snapshots.at(index), collector);
+}
+
+std::vector<std::uint8_t> write_mrt_rib(const SnapshotView& src,
+                                        const Snapshot& snap,
+                                        std::uint16_t collector) {
   const auto ts = static_cast<std::uint32_t>(snap.timestamp);
 
   // Peers of this collector, in feed order.
@@ -156,7 +163,7 @@ std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
   {
     Writer w;
     w.u32(0x0A000001);  // collector BGP ID (synthetic)
-    const std::string& view = ds.collectors.at(collector);
+    const std::string& view = src.collectors().at(collector);
     w.u16(static_cast<std::uint16_t>(view.size()));
     for (char c : view) w.u8(static_cast<std::uint8_t>(c));
     w.u16(static_cast<std::uint16_t>(peer_feeds.size()));
@@ -182,7 +189,7 @@ std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
       by_prefix[rec.prefix].emplace_back(static_cast<std::uint16_t>(i), &rec);
     }
   }
-  const bool v6 = ds.family == net::Family::kIPv6;
+  const bool v6 = src.family() == net::Family::kIPv6;
   const net::IpAddress next_hop =
       v6 ? net::IpAddress::v6(0xfe80000000000000ULL, 1)
          : net::IpAddress::v4(0xC0000201u);
@@ -190,13 +197,13 @@ std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
   for (const auto& [prefix_id, entries] : by_prefix) {
     Writer w;
     w.u32(sequence++);
-    w.prefix(ds.prefixes.get(prefix_id));
+    w.prefix(src.prefixes().get(prefix_id));
     w.u16(static_cast<std::uint16_t>(entries.size()));
     for (const auto& [peer_index, rec] : entries) {
       w.u16(peer_index);
       w.u32(ts);  // originated time
       const auto attrs =
-          encode_rib_attributes(ds, rec->path, rec->communities, next_hop);
+          encode_rib_attributes(src, rec->path, rec->communities, next_hop);
       w.u16(static_cast<std::uint16_t>(attrs.size()));
       w.bytes(attrs);
     }
@@ -209,14 +216,26 @@ std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
 std::vector<std::uint8_t> write_mrt_updates(const Dataset& ds,
                                             std::uint16_t collector) {
   if (ds.snapshots.empty()) throw MrtError("no snapshot to resolve peers");
-  const auto& peers = ds.snapshots.front().peers;
-  const bool v6 = ds.family == net::Family::kIPv6;
-
+  std::vector<PeerIdentity> peers;
+  for (const auto& feed : ds.snapshots.front().peers) {
+    peers.push_back(feed.peer);
+  }
+  const DatasetView view(ds);
   std::vector<std::uint8_t> file;
-  for (const auto& rec : ds.updates) {
+  append_mrt_updates(file, view, peers, ds.updates, collector);
+  return file;
+}
+
+void append_mrt_updates(std::vector<std::uint8_t>& file,
+                        const SnapshotView& src,
+                        std::span<const PeerIdentity> peers,
+                        std::span<const UpdateRecord> updates,
+                        std::uint16_t collector) {
+  const bool v6 = src.family() == net::Family::kIPv6;
+  for (const auto& rec : updates) {
     if (rec.collector != collector) continue;
     if (rec.peer >= peers.size()) throw MrtError("update peer out of range");
-    const auto& peer = peers[rec.peer].peer;
+    const auto& peer = peers[rec.peer];
 
     Writer w;
     w.u32(peer.asn);    // peer AS
@@ -226,12 +245,11 @@ std::vector<std::uint8_t> write_mrt_updates(const Dataset& ds,
     w.address(peer.address);
     w.address(v6 ? net::IpAddress::v6(0xfe80000000000000ULL, 2)
                  : net::IpAddress::v4(0x0A0000FEu));
-    const auto message = encode_update(ds, rec);
+    const auto message = encode_update(src, rec);
     w.bytes(message);
     emit_record(file, static_cast<std::uint32_t>(rec.timestamp),
                 kTypeBgp4mp, kSubtypeMessageAs4, w.out);
   }
-  return file;
 }
 
 Dataset read_mrt(std::span<const std::uint8_t> data,

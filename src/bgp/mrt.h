@@ -32,15 +32,36 @@ class MrtError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class SnapshotView;  // bgp/views.h
+
 /// Serializes snapshot `index`, restricted to peers of `collector`
 /// (index into ds.collectors), as a TABLE_DUMP_V2 RIB dump.
 std::vector<std::uint8_t> write_mrt_rib(const Dataset& ds, std::size_t index,
+                                        std::uint16_t collector);
+
+/// Same for a snapshot pulled off a streaming view (ids resolve through
+/// the view's dictionaries): the conversion path that never materializes
+/// the archive. `snap` is typically the view's current next_snapshot()
+/// pointee; only this one snapshot is resident while it encodes.
+std::vector<std::uint8_t> write_mrt_rib(const SnapshotView& src,
+                                        const Snapshot& snap,
                                         std::uint16_t collector);
 
 /// Serializes the update stream of `collector` as BGP4MP_MESSAGE_AS4
 /// records (one per update record, in timestamp order).
 std::vector<std::uint8_t> write_mrt_updates(const Dataset& ds,
                                             std::uint16_t collector);
+
+/// Appends BGP4MP_MESSAGE_AS4 records for one chunk of the update stream
+/// to `file`. `peers` holds the first snapshot's peer identities in feed
+/// order (update records carry indices into that table — callers keep a
+/// copy while streaming). Chunking is free: encoding is per-record, so
+/// feeding N chunks equals feeding their concatenation.
+void append_mrt_updates(std::vector<std::uint8_t>& file,
+                        const SnapshotView& src,
+                        std::span<const PeerIdentity> peers,
+                        std::span<const UpdateRecord> updates,
+                        std::uint16_t collector);
 
 /// Parses a concatenation of MRT records (RIB dumps and/or BGP4MP
 /// messages) into a dataset. Multiple PEER_INDEX_TABLEs start new

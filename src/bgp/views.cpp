@@ -1,0 +1,13 @@
+#include "bgp/views.h"
+
+namespace bgpatoms::bgp {
+
+std::size_t DatasetView::peak_resident_records() const {
+  // A materialized dataset is resident in full, regardless of cursor
+  // position.
+  std::size_t n = ds_->updates.size();
+  for (const auto& snap : ds_->snapshots) n += Dataset::record_count(snap);
+  return n;
+}
+
+}  // namespace bgpatoms::bgp

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "bgp/views.h"
+
 namespace bgpatoms::bgp {
 
 namespace {
@@ -177,12 +179,14 @@ net::AsPath read_as_path(Reader attr) {
   return net::AsPath::from_segments(std::move(segments));
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_update(
-    const Dataset& ds, const UpdateRecord& rec,
+/// Shared core of both encode_update overloads: everything the codec
+/// needs is the family plus the three dictionary pools, so Dataset and
+/// SnapshotView callers meet here.
+std::vector<std::uint8_t> encode_update_impl(
+    net::Family family, const net::PathPool& paths, const PrefixPool& prefixes,
+    const CommunitySetPool& communities, const UpdateRecord& rec,
     std::optional<net::IpAddress> next_hop) {
-  const bool v6 = ds.family == net::Family::kIPv6;
+  const bool v6 = family == net::Family::kIPv6;
   const net::IpAddress nh = next_hop.value_or(
       v6 ? net::IpAddress::v6(0xfe80000000000000ULL, 1)
          : net::IpAddress::v4(0xC0000201u));
@@ -197,7 +201,7 @@ std::vector<std::uint8_t> encode_update(
   const std::size_t withdrawn_len_pos = w.out.size();
   w.u16(0);
   if (!v6) {
-    for (PrefixId p : rec.withdrawn) write_nlri(w, ds.prefixes.get(p));
+    for (PrefixId p : rec.withdrawn) write_nlri(w, prefixes.get(p));
     w.patch_u16(withdrawn_len_pos,
                 static_cast<std::uint16_t>(w.out.size() - withdrawn_len_pos - 2));
   }
@@ -211,7 +215,7 @@ std::vector<std::uint8_t> encode_update(
     w.u8(static_cast<std::uint8_t>(WireOrigin::kIgp));
     end_attribute(w, p, false);
 
-    write_as_path(w, ds.paths.get(rec.path));
+    write_as_path(w, paths.get(rec.path));
 
     if (!v6) {
       p = begin_attribute(w, kFlagTransitive, kAttrNextHop, false);
@@ -219,7 +223,7 @@ std::vector<std::uint8_t> encode_update(
       end_attribute(w, p, false);
     }
 
-    const auto& comms = ds.communities.get(rec.communities);
+    const auto& comms = communities.get(rec.communities);
     if (!comms.empty()) {
       p = begin_attribute(w, kFlagOptional | kFlagTransitive,
                           kAttrCommunities, true);
@@ -237,7 +241,7 @@ std::vector<std::uint8_t> encode_update(
       w.u32(static_cast<std::uint32_t>(nh.lo() >> 32));
       w.u32(static_cast<std::uint32_t>(nh.lo()));
       w.u8(0);  // reserved
-      for (PrefixId pid : rec.announced) write_nlri(w, ds.prefixes.get(pid));
+      for (PrefixId pid : rec.announced) write_nlri(w, prefixes.get(pid));
       end_attribute(w, p, true);
     }
   }
@@ -246,7 +250,7 @@ std::vector<std::uint8_t> encode_update(
         begin_attribute(w, kFlagOptional, kAttrMpUnreach, true);
     w.u16(kAfiIpv6);
     w.u8(kSafiUnicast);
-    for (PrefixId pid : rec.withdrawn) write_nlri(w, ds.prefixes.get(pid));
+    for (PrefixId pid : rec.withdrawn) write_nlri(w, prefixes.get(pid));
     end_attribute(w, p, true);
   }
   w.patch_u16(attr_len_pos,
@@ -254,7 +258,7 @@ std::vector<std::uint8_t> encode_update(
 
   // IPv4 NLRI rides the message tail.
   if (!v6) {
-    for (PrefixId p : rec.announced) write_nlri(w, ds.prefixes.get(p));
+    for (PrefixId p : rec.announced) write_nlri(w, prefixes.get(p));
   }
 
   if (w.out.size() > kMaxMessageSize) {
@@ -262,6 +266,75 @@ std::vector<std::uint8_t> encode_update(
   }
   w.patch_u16(length_pos, static_cast<std::uint16_t>(w.out.size()));
   return std::move(w.out);
+}
+
+/// Shared core of both encode_rib_attributes overloads.
+std::vector<std::uint8_t> encode_rib_attributes_impl(
+    const net::PathPool& paths, const CommunitySetPool& community_pool,
+    PathId path, CommunitySetId communities, const net::IpAddress& next_hop) {
+  Writer w;
+  std::size_t p = begin_attribute(w, kFlagTransitive, kAttrOrigin, false);
+  w.u8(static_cast<std::uint8_t>(WireOrigin::kIgp));
+  end_attribute(w, p, false);
+
+  write_as_path(w, paths.get(path));
+
+  if (next_hop.is_v4()) {
+    p = begin_attribute(w, kFlagTransitive, kAttrNextHop, false);
+    w.u32(next_hop.v4_value());
+    end_attribute(w, p, false);
+  } else {
+    // MRT RIB convention: MP_REACH carries only the next hop, no NLRI.
+    p = begin_attribute(w, kFlagOptional, kAttrMpReach, true);
+    w.u16(kAfiIpv6);
+    w.u8(kSafiUnicast);
+    w.u8(16);
+    w.u32(static_cast<std::uint32_t>(next_hop.hi() >> 32));
+    w.u32(static_cast<std::uint32_t>(next_hop.hi()));
+    w.u32(static_cast<std::uint32_t>(next_hop.lo() >> 32));
+    w.u32(static_cast<std::uint32_t>(next_hop.lo()));
+    w.u8(0);
+    end_attribute(w, p, true);
+  }
+
+  const auto& comms = community_pool.get(communities);
+  if (!comms.empty()) {
+    p = begin_attribute(w, kFlagOptional | kFlagTransitive, kAttrCommunities,
+                        true);
+    for (Community c : comms) w.u32(c);
+    end_attribute(w, p, true);
+  }
+  return std::move(w.out);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update(
+    const Dataset& ds, const UpdateRecord& rec,
+    std::optional<net::IpAddress> next_hop) {
+  return encode_update_impl(ds.family, ds.paths, ds.prefixes, ds.communities,
+                            rec, next_hop);
+}
+
+std::vector<std::uint8_t> encode_update(
+    const SnapshotView& src, const UpdateRecord& rec,
+    std::optional<net::IpAddress> next_hop) {
+  return encode_update_impl(src.family(), src.paths(), src.prefixes(),
+                            src.communities(), rec, next_hop);
+}
+
+std::vector<std::uint8_t> encode_rib_attributes(
+    const Dataset& ds, PathId path, CommunitySetId communities,
+    const net::IpAddress& next_hop) {
+  return encode_rib_attributes_impl(ds.paths, ds.communities, path,
+                                    communities, next_hop);
+}
+
+std::vector<std::uint8_t> encode_rib_attributes(
+    const SnapshotView& src, PathId path, CommunitySetId communities,
+    const net::IpAddress& next_hop) {
+  return encode_rib_attributes_impl(src.paths(), src.communities(), path,
+                                    communities, next_hop);
 }
 
 std::size_t peek_update_length(std::span<const std::uint8_t> data) {
@@ -334,44 +407,6 @@ DecodedAttributes decode_attributes(std::span<const std::uint8_t> block) {
     }
   }
   return out;
-}
-
-std::vector<std::uint8_t> encode_rib_attributes(
-    const Dataset& ds, PathId path, CommunitySetId communities,
-    const net::IpAddress& next_hop) {
-  Writer w;
-  std::size_t p = begin_attribute(w, kFlagTransitive, kAttrOrigin, false);
-  w.u8(static_cast<std::uint8_t>(WireOrigin::kIgp));
-  end_attribute(w, p, false);
-
-  write_as_path(w, ds.paths.get(path));
-
-  if (next_hop.is_v4()) {
-    p = begin_attribute(w, kFlagTransitive, kAttrNextHop, false);
-    w.u32(next_hop.v4_value());
-    end_attribute(w, p, false);
-  } else {
-    // MRT RIB convention: MP_REACH carries only the next hop, no NLRI.
-    p = begin_attribute(w, kFlagOptional, kAttrMpReach, true);
-    w.u16(kAfiIpv6);
-    w.u8(kSafiUnicast);
-    w.u8(16);
-    w.u32(static_cast<std::uint32_t>(next_hop.hi() >> 32));
-    w.u32(static_cast<std::uint32_t>(next_hop.hi()));
-    w.u32(static_cast<std::uint32_t>(next_hop.lo() >> 32));
-    w.u32(static_cast<std::uint32_t>(next_hop.lo()));
-    w.u8(0);
-    end_attribute(w, p, true);
-  }
-
-  const auto& comms = ds.communities.get(communities);
-  if (!comms.empty()) {
-    p = begin_attribute(w, kFlagOptional | kFlagTransitive, kAttrCommunities,
-                        true);
-    for (Community c : comms) w.u32(c);
-    end_attribute(w, p, true);
-  }
-  return std::move(w.out);
 }
 
 DecodedUpdate decode_update(std::span<const std::uint8_t> message,

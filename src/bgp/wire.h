@@ -21,6 +21,8 @@
 
 namespace bgpatoms::bgp {
 
+class SnapshotView;  // bgp/views.h
+
 class WireError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -52,6 +54,12 @@ std::vector<std::uint8_t> encode_update(
     const Dataset& ds, const UpdateRecord& rec,
     std::optional<net::IpAddress> next_hop = std::nullopt);
 
+/// Same, resolving ids through a streaming view's dictionaries (which are
+/// stable for the view's lifetime even as sections come and go).
+std::vector<std::uint8_t> encode_update(
+    const SnapshotView& src, const UpdateRecord& rec,
+    std::optional<net::IpAddress> next_hop = std::nullopt);
+
 /// Parses one UPDATE message. `family` selects the NLRI family expected in
 /// MP attributes (IPv4 NLRI always rides the base message body).
 /// Throws WireError on malformed input.
@@ -77,6 +85,12 @@ struct DecodedAttributes {
 /// Encodes a path-attribute block for one route (no NLRI in MP_REACH —
 /// the MRT RIB-entry convention). Resolves ids through `ds`.
 std::vector<std::uint8_t> encode_rib_attributes(const Dataset& ds,
+                                                PathId path,
+                                                CommunitySetId communities,
+                                                const net::IpAddress& next_hop);
+
+/// Same through a streaming view's dictionaries.
+std::vector<std::uint8_t> encode_rib_attributes(const SnapshotView& src,
                                                 PathId path,
                                                 CommunitySetId communities,
                                                 const net::IpAddress& next_hop);

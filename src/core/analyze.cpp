@@ -1,0 +1,108 @@
+#include "core/analyze.h"
+
+namespace bgpatoms::core {
+
+namespace {
+
+/// Appends `san`'s products to (sanitized, atom_sets), computing atoms
+/// after insertion so AtomSet::snapshot points at the deque element.
+const AtomSet& emplace_products(std::deque<SanitizedSnapshot>& sanitized,
+                                std::deque<AtomSet>& atom_sets,
+                                SanitizedSnapshot&& san,
+                                const AtomOptions& options) {
+  sanitized.push_back(std::move(san));
+  atom_sets.push_back(compute_atoms(sanitized.back(), options));
+  return atom_sets.back();
+}
+
+}  // namespace
+
+AnalysisResult analyze(bgp::SnapshotView& snapshots,
+                       bgp::UpdateStreamView* updates,
+                       const AnalysisConfig& config) {
+  AnalysisResult out;
+  const std::size_t ref = config.reference_snapshot;
+
+  // Snapshots before the reference whose stability can only be computed
+  // once the reference's atoms exist (reference_snapshot > 0). In
+  // keep_all mode out.sanitized/atom_sets already retain them; this
+  // buffer is the streamed path's bounded stand-in.
+  std::deque<SanitizedSnapshot> pending_san;
+  std::deque<AtomSet> pending_atoms;
+
+  std::size_t i = 0;
+  for (const bgp::Snapshot* snap = snapshots.next_snapshot(); snap != nullptr;
+       snap = snapshots.next_snapshot(), ++i) {
+    ++out.snapshots_seen;
+    const bool keep = config.keep_all || i == ref;
+    const bool buffer =
+        !keep && config.with_stability && i >= 1 && i < ref;
+    if (!keep && !buffer && !(config.with_stability && i >= 1)) {
+      continue;  // consumed (on-disk order) but nothing to compute
+    }
+
+    if (keep) {
+      emplace_products(out.sanitized, out.atom_sets,
+                       sanitize(snapshots, *snap, config.sanitize),
+                       config.atoms);
+      if (i == ref) out.reference_index = out.atom_sets.size() - 1;
+    } else if (buffer) {
+      emplace_products(pending_san, pending_atoms,
+                       sanitize(snapshots, *snap, config.sanitize),
+                       config.atoms);
+    } else {
+      // Transient later snapshot (streamed stability): products live only
+      // for this iteration; i > ref, so the reference already exists.
+      const SanitizedSnapshot san =
+          sanitize(snapshots, *snap, config.sanitize);
+      const AtomSet atoms = compute_atoms(san, config.atoms);
+      out.stability.push_back(
+          {i, san.timestamp, stability(out.reference_atoms(), atoms)});
+      continue;
+    }
+
+    if (!config.with_stability) continue;
+    if (i == ref) {
+      // Reference just materialized: emit the buffered/retained earlier
+      // snapshots in capture order, then the reference against itself
+      // when i >= 1 — matching the historical reference-vs-every-other-
+      // snapshot loop exactly.
+      if (config.keep_all) {
+        for (std::size_t j = 1; j < ref; ++j) {
+          out.stability.push_back({j, out.sanitized[j].timestamp,
+                                   stability(out.reference_atoms(),
+                                             out.atom_sets[j])});
+        }
+      } else {
+        for (std::size_t j = 0; j < pending_atoms.size(); ++j) {
+          out.stability.push_back({j + 1, pending_san[j].timestamp,
+                                   stability(out.reference_atoms(),
+                                             pending_atoms[j])});
+        }
+        pending_atoms.clear();
+        pending_san.clear();
+      }
+      if (i >= 1) {
+        out.stability.push_back(
+            {i, out.reference().timestamp,
+             stability(out.reference_atoms(), out.reference_atoms())});
+      }
+    } else if (i > ref && i >= 1) {
+      // keep_all retained snapshot after the reference.
+      out.stability.push_back({i, out.sanitized.back().timestamp,
+                               stability(out.reference_atoms(),
+                                         out.atom_sets.back())});
+    }
+  }
+
+  if (out.has_reference()) {
+    out.stats = general_stats(out.reference_atoms());
+    if (config.with_updates && updates != nullptr) {
+      out.correlation = correlate_updates(out.reference_atoms(), *updates,
+                                          config.update_max_k);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpatoms::core

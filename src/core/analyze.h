@@ -1,0 +1,92 @@
+// One streaming analysis pass over a campaign: the single driver both
+// backends share. run_campaign() feeds it a bgp::DatasetView over the
+// simulator's capture; the CLI tools feed it a bgp::ArchiveView straight
+// off a BGA file. Either way each snapshot flows sanitize -> atoms ->
+// (stats / stability) exactly once, in capture order, and the update
+// stream is correlated chunk by chunk — so the streamed path holds one
+// raw snapshot plus one update chunk plus the analysis products, never a
+// materialized Dataset.
+//
+// Retention: with keep_all the result owns every SanitizedSnapshot and
+// AtomSet (what core::Campaign exposes); without it only the reference
+// snapshot's products are kept — O(1) in the number of snapshots, which
+// is what keeps the streamed path's residency flat (perf_archive
+// --rss-guard). A reference_snapshot > 0 additionally buffers the atoms
+// of the snapshots before it (stability is reference-vs-later), bounded
+// by the reference index, not the archive length.
+//
+// Outputs are bit-identical between backends and to the pre-view
+// pipeline: same kernels, same call order per snapshot.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "bgp/views.h"
+#include "core/atoms.h"
+#include "core/sanitize.h"
+#include "core/stability.h"
+#include "core/stats.h"
+#include "core/update_corr.h"
+
+namespace bgpatoms::core {
+
+struct AnalysisConfig {
+  SanitizeConfig sanitize;
+  AtomOptions atoms;
+  /// Snapshot index the stats/stability/update kernels anchor on.
+  std::size_t reference_snapshot = 0;
+  /// Compare every snapshot i >= 1 against the reference (CAM/MPM).
+  bool with_stability = false;
+  /// Correlate the update stream with the reference atoms.
+  bool with_updates = false;
+  /// Retain every snapshot's products (Campaign) instead of only the
+  /// reference's (streamed, constant residency).
+  bool keep_all = false;
+  /// Largest entity size reported by the update correlation.
+  std::size_t update_max_k = 16;
+};
+
+/// Stability of one non-reference snapshot against the reference.
+struct SnapshotStability {
+  std::size_t index = 0;  // snapshot index in capture order
+  bgp::Timestamp timestamp = 0;
+  StabilityResult result;
+};
+
+struct AnalysisResult {
+  /// Products in capture order (keep_all) or just the reference's
+  /// (otherwise; empty if the stream held no such snapshot). Deques:
+  /// AtomSet::snapshot points at the element, stable under growth/moves.
+  std::deque<SanitizedSnapshot> sanitized;
+  std::deque<AtomSet> atom_sets;
+  /// Position of the reference snapshot within the deques above; npos
+  /// (size_t(-1)) until the stream actually yields it, so has_reference()
+  /// stays false when the archive is shorter than reference_snapshot even
+  /// in keep_all mode.
+  std::size_t reference_index = static_cast<std::size_t>(-1);
+  /// Snapshots consumed from the view (>= sanitized.size()).
+  std::size_t snapshots_seen = 0;
+  /// Stats of the reference snapshot's atoms.
+  GeneralStats stats;
+  /// One entry per snapshot i >= 1, in capture order (with_stability).
+  std::vector<SnapshotStability> stability;
+  std::optional<UpdateCorrelation> correlation;
+
+  bool has_reference() const { return reference_index < atom_sets.size(); }
+  const SanitizedSnapshot& reference() const {
+    return sanitized[reference_index];
+  }
+  const AtomSet& reference_atoms() const { return atom_sets[reference_index]; }
+};
+
+/// Drains `snapshots` (and, when configured, `updates` — may be null, and
+/// may alias the same backing object as `snapshots`, e.g. one ArchiveView
+/// serving both cursors). The view must outlive the result (prefix-pool
+/// pointers). Propagates backend exceptions (e.g. bgp::ArchiveError).
+AnalysisResult analyze(bgp::SnapshotView& snapshots,
+                       bgp::UpdateStreamView* updates,
+                       const AnalysisConfig& config = {});
+
+}  // namespace bgpatoms::core

@@ -24,11 +24,12 @@ struct AtomOptions {
   /// Method (i) of §3.4.2: collapse AS-path prepending *before* grouping.
   /// Default off — the paper (and methods (ii)/(iii)) group on raw paths.
   bool strip_prepends_before_grouping = false;
-  /// Workers for the signature hashing/grouping loop; 0 resolves via
-  /// BGPATOMS_THREADS / hardware (core/parallel.h). Default 1 (serial):
-  /// campaigns running under run_sweep() are already parallel at the job
-  /// level. The result is bit-identical for any value.
-  int threads = 1;
+  /// Workers for the signature hashing/grouping loop. Default 0: resolve
+  /// via BGPATOMS_THREADS / hardware, the same precedence every entry
+  /// point shares (flag > env > default, see report/options.h).
+  /// run_campaign() pins this to 1 because sweeps are already parallel at
+  /// the job level. The result is bit-identical for any value.
+  int threads = 0;
 };
 
 struct Atom {

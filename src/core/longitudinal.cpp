@@ -19,69 +19,90 @@ Campaign run_campaign(const CampaignConfig& config) {
     c.era.full_feed_frac = config.force_full_feed_frac;
   }
 
-  routing::SimOptions opt;
-  opt.seed = config.seed;
-  opt.weekly_churn = config.with_stability;
-  c.sim = std::make_unique<routing::Simulator>(
-      topo::generate_topology(c.era, config.seed), opt);
+  // Capture phase: the simulator lives only long enough to produce the
+  // dataset; the campaign keeps the data and the topology ground truth.
+  {
+    routing::SimOptions opt;
+    opt.seed = config.seed;
+    opt.weekly_churn = config.with_stability;
+    routing::Simulator sim(topo::generate_topology(c.era, config.seed), opt);
 
-  c.sim->capture();
-  if (config.with_updates) c.sim->emit_updates(4 * kHour);
-  if (config.with_stability) {
-    c.sim->advance_to(8 * kHour);
-    c.sim->capture();
-    c.sim->advance_to(kDay);
-    c.sim->capture();
-    c.sim->advance_to(kWeek);
-    c.sim->capture();
+    sim.capture();
+    if (config.with_updates) sim.emit_updates(4 * kHour);
+    if (config.with_stability) {
+      sim.advance_to(8 * kHour);
+      sim.capture();
+      sim.advance_to(kDay);
+      sim.capture();
+      sim.advance_to(kWeek);
+      sim.capture();
+    }
+
+    c.events_applied = sim.events_applied();
+    c.topology = sim.take_topology();
+    c.data = std::make_shared<bgp::Dataset>(sim.take_dataset());
   }
 
-  const auto& ds = c.sim->dataset();
-  for (std::size_t i = 0; i < ds.snapshots.size(); ++i) {
-    c.sanitized.push_back(sanitize(ds, i, config.sanitize));
-    c.atom_sets.push_back(compute_atoms(c.sanitized.back()));
-  }
+  // Analysis phase: the same view-driven pass the streamed CLI runs.
+  bgp::DatasetView view(*c.data);
+  AnalysisConfig ac;
+  ac.sanitize = config.sanitize;
+  // Campaigns run under run_sweep() are already parallel at the job
+  // level; keep the per-snapshot grouping serial.
+  ac.atoms.threads = 1;
+  ac.with_stability = config.with_stability;
+  ac.with_updates = config.with_updates;
+  ac.keep_all = true;
+  AnalysisResult r = analyze(view, &view, ac);
 
-  c.stats = general_stats(c.atom_sets.front());
-  if (config.with_stability && c.atom_sets.size() >= 4) {
-    c.stability_8h = stability(c.atom_sets[0], c.atom_sets[1]);
-    c.stability_24h = stability(c.atom_sets[0], c.atom_sets[2]);
-    c.stability_1w = stability(c.atom_sets[0], c.atom_sets[3]);
+  c.sanitized = std::move(r.sanitized);
+  c.atom_sets = std::move(r.atom_sets);
+  c.stats = r.stats;
+  if (config.with_stability && r.stability.size() >= 3) {
+    c.stability_8h = r.stability[0].result;
+    c.stability_24h = r.stability[1].result;
+    c.stability_1w = r.stability[2].result;
   }
-  if (config.with_updates) {
-    c.correlation = correlate_updates(c.atom_sets.front(), ds.updates);
-  }
+  c.correlation = std::move(r.correlation);
   return c;
 }
 
-QuarterMetrics quarter_metrics(const Campaign& c, double year) {
+namespace {
+
+/// The shared extraction both quarter_metrics overloads feed: reference
+/// stats/atoms/report plus the three optional stability deltas.
+QuarterMetrics make_quarter_metrics(
+    double year, const GeneralStats& stats, const AtomSet& atoms,
+    const SanitizedSnapshot& reference,
+    const StabilityResult* s8h, const StabilityResult* s24h,
+    const StabilityResult* s1w) {
   QuarterMetrics m;
   m.year = year;
-  m.stats = c.stats;
-  const FormationResult formation = formation_distance(c.atoms());
+  m.stats = stats;
+  const FormationResult formation = formation_distance(atoms);
   for (int d = 1; d <= 5; ++d) {
     m.formed_at[d] = formation.share_at(d);
     m.formed_at_multi[d] = formation.share_at_multi(d);
   }
-  if (c.stability_8h) {
-    m.cam_8h = c.stability_8h->cam;
-    m.mpm_8h = c.stability_8h->mpm;
+  if (s8h) {
+    m.cam_8h = s8h->cam;
+    m.mpm_8h = s8h->mpm;
   }
-  if (c.stability_24h) {
-    m.cam_24h = c.stability_24h->cam;
-    m.mpm_24h = c.stability_24h->mpm;
+  if (s24h) {
+    m.cam_24h = s24h->cam;
+    m.mpm_24h = s24h->mpm;
   }
-  if (c.stability_1w) {
-    m.cam_1w = c.stability_1w->cam;
-    m.mpm_1w = c.stability_1w->mpm;
+  if (s1w) {
+    m.cam_1w = s1w->cam;
+    m.mpm_1w = s1w->mpm;
   }
-  const auto& report = c.sanitized.front().report;
+  const auto& report = reference.report;
   m.full_feed_peers = report.full_feed_peers;
   m.full_feed_threshold = report.max_unique_prefixes;
   m.peers_in = report.peers_in;
 
   std::size_t records = 0;
-  for (const auto& vp : c.sanitized.front().vps) records += vp.routes.size();
+  for (const auto& vp : reference.vps) records += vp.routes.size();
   m.asset_path_share =
       records ? static_cast<double>(report.asset_paths_expanded +
                                     report.records_dropped_asset) /
@@ -93,6 +114,25 @@ QuarterMetrics quarter_metrics(const Campaign& c, double year) {
                 static_cast<double>(report.prefixes_in)
           : 0.0;
   return m;
+}
+
+}  // namespace
+
+QuarterMetrics quarter_metrics(const Campaign& c, double year) {
+  return make_quarter_metrics(
+      year, c.stats, c.atoms(), c.sanitized.front(),
+      c.stability_8h ? &*c.stability_8h : nullptr,
+      c.stability_24h ? &*c.stability_24h : nullptr,
+      c.stability_1w ? &*c.stability_1w : nullptr);
+}
+
+QuarterMetrics quarter_metrics(const AnalysisResult& r, double year) {
+  const bool deltas = r.stability.size() >= 3;
+  return make_quarter_metrics(
+      year, r.stats, r.reference_atoms(), r.reference(),
+      deltas ? &r.stability[0].result : nullptr,
+      deltas ? &r.stability[1].result : nullptr,
+      deltas ? &r.stability[2].result : nullptr);
 }
 
 QuarterMetrics run_quarter(net::Family family, double year, double scale,

@@ -9,6 +9,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/analyze.h"
 #include "core/atoms.h"
 #include "core/formation.h"
 #include "core/sanitize.h"
@@ -36,11 +37,20 @@ struct CampaignConfig {
   double force_full_feed_frac = 0.0;
 };
 
-/// A fully materialized campaign. Owns the simulator (and through it the
-/// dataset) so the derived views stay valid.
+/// A fully analyzed campaign. Owns the captured data (shared, so derived
+/// prefix-pool pointers survive moves) plus the topology ground truth —
+/// the simulator that produced them is torn down inside run_campaign()
+/// once the capture is taken. Analysis runs through the same
+/// view-based analyze() pass the streamed CLI tools use.
 struct Campaign {
   topo::EraParams era;
-  std::unique_ptr<routing::Simulator> sim;
+  /// The captured dataset (snapshots + update stream + dictionaries).
+  std::shared_ptr<const bgp::Dataset> data;
+  /// Capture ground truth: vantage points with their fault-injection
+  /// flags (the Table 5 audit), AS graph, prefix plan.
+  topo::Topology topology;
+  /// Composition events the simulator applied (tests/diagnostics).
+  std::size_t events_applied = 0;
   /// Sanitized view + atoms per captured snapshot (deque: stable addresses).
   std::deque<SanitizedSnapshot> sanitized;
   std::deque<AtomSet> atom_sets;
@@ -51,6 +61,7 @@ struct Campaign {
   std::optional<StabilityResult> stability_1w;
   std::optional<UpdateCorrelation> correlation;
 
+  const bgp::Dataset& dataset() const { return *data; }
   const AtomSet& atoms() const { return atom_sets.front(); }
 };
 
@@ -83,6 +94,12 @@ struct QuarterMetrics {
 /// Extracts the trend metrics from a finished campaign (first snapshot;
 /// stability/update fields filled when the campaign captured them).
 QuarterMetrics quarter_metrics(const Campaign& campaign, double year);
+
+/// Same from a raw analysis pass (streamed backends): the reference
+/// snapshot plays the campaign's first snapshot; the first three
+/// stability entries map to the 8h/24h/1w deltas. Bit-identical to the
+/// Campaign overload for the same capture.
+QuarterMetrics quarter_metrics(const AnalysisResult& analysis, double year);
 
 /// Runs one quarter at reduced scale and extracts the trend metrics.
 QuarterMetrics run_quarter(net::Family family, double year, double scale,

@@ -43,7 +43,7 @@ struct PeerScan {
   std::size_t unique_prefixes = 0;
 };
 
-PeerScan scan_peer(const bgp::Dataset& ds, const bgp::PeerFeed& feed) {
+PeerScan scan_peer(const net::PathPool& paths, const bgp::PeerFeed& feed) {
   PeerScan s;
   s.records = feed.records.size();
   std::unordered_set<bgp::PrefixId> seen;
@@ -51,7 +51,7 @@ PeerScan scan_peer(const bgp::Dataset& ds, const bgp::PeerFeed& feed) {
   for (const auto& rec : feed.records) {
     if (bgp::is_addpath_artifact(rec.status)) ++s.corrupt;
     if (!seen.insert(rec.prefix).second) ++s.duplicates;
-    const auto& path = ds.paths.get(rec.path);
+    const auto& path = paths.get(rec.path);
     // The peer's own leading hop may legitimately repeat; a bogon anywhere
     // *behind* the first hop signals injection (the AS65000 case).
     const auto hops = path.flat();
@@ -68,11 +68,11 @@ PeerScan scan_peer(const bgp::Dataset& ds, const bgp::PeerFeed& feed) {
 
 }  // namespace
 
-SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
+SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
+                           const bgp::Snapshot& snap,
                            const SanitizeConfig& config) {
-  const auto& snap = ds.snapshots.at(index);
   SanitizedSnapshot out;
-  out.dataset = &ds;
+  out.prefix_pool = &src.prefixes();
   out.timestamp = snap.timestamp;
   auto& rep = out.report;
   rep.peers_in = snap.peers.size();
@@ -80,13 +80,13 @@ SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
   const int max_len =
       config.max_prefix_length > 0
           ? config.max_prefix_length
-          : (ds.family == net::Family::kIPv4 ? 24 : 48);
+          : (src.family() == net::Family::kIPv4 ? 24 : 48);
 
   // --- pass 1: per-peer statistics & abnormal-peer removal ---------------
   std::vector<const bgp::PeerFeed*> kept;
   std::vector<PeerScan> scans;
   for (const auto& feed : snap.peers) {
-    const PeerScan s = scan_peer(ds, feed);
+    const PeerScan s = scan_peer(src.paths(), feed);
     if (config.remove_abnormal_peers && s.records > 0) {
       const double corrupt_share =
           static_cast<double>(s.corrupt) / static_cast<double>(s.records);
@@ -158,7 +158,7 @@ SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
         ++rep.records_dropped_corrupt;
         continue;
       }
-      const auto& raw = ds.paths.get(rec.path);
+      const auto& raw = src.paths().get(rec.path);
       bgp::PathId pid;
       if (raw.has_set()) {
         if (!raw.sets_all_singleton()) {
@@ -201,7 +201,7 @@ SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
   std::unordered_set<bgp::PrefixId> keep_prefixes;
   keep_prefixes.reserve(vis.size());
   for (const auto& [prefix, v] : vis) {
-    if (ds.prefixes.get(prefix).length() > max_len) {
+    if (src.prefixes().get(prefix).length() > max_len) {
       ++rep.prefixes_dropped_length;
       continue;
     }
@@ -237,6 +237,12 @@ SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
   rep.moas_prefixes = moas.size();
 
   return out;
+}
+
+SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
+                           const SanitizeConfig& config) {
+  bgp::DatasetView view(ds);
+  return sanitize(view, ds.snapshots.at(index), config);
 }
 
 }  // namespace bgpatoms::core

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bgp/dataset.h"
+#include "bgp/views.h"
 #include "net/aspath.h"
 
 namespace bgpatoms::core {
@@ -87,7 +88,10 @@ struct VpTable {
 };
 
 struct SanitizedSnapshot {
-  const bgp::Dataset* dataset = nullptr;  // for prefix lookups
+  /// Prefix dictionary of the source view (prefix-id lookups). Points into
+  /// the view/dataset the snapshot was sanitized from, which must outlive
+  /// the result; everything else here is self-contained.
+  const bgp::PrefixPool* prefix_pool = nullptr;
   bgp::Timestamp timestamp = 0;
   net::PathPool paths;  // self-contained path pool
   std::vector<VpTable> vps;
@@ -96,11 +100,19 @@ struct SanitizedSnapshot {
   SanitizeReport report;
 
   const net::Prefix& prefix(bgp::PrefixId id) const {
-    return dataset->prefixes.get(id);
+    return prefix_pool->get(id);
   }
 };
 
-/// Sanitizes snapshot `index` of `ds`. The dataset must outlive the result.
+/// Sanitizes one captured snapshot against the dictionaries of `src` (the
+/// raw snapshot may be discarded afterwards; the view's pools must outlive
+/// the result). This is the one code path both backends run through.
+SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
+                           const bgp::Snapshot& snap,
+                           const SanitizeConfig& config = {});
+
+/// Convenience over an in-memory dataset: sanitizes snapshot `index` of
+/// `ds` through a DatasetView. The dataset must outlive the result.
 SanitizedSnapshot sanitize(const bgp::Dataset& ds, std::size_t index,
                            const SanitizeConfig& config = {});
 

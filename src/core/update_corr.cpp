@@ -42,13 +42,35 @@ PrFullCurve make_curve(const Entities& e, std::size_t max_k) {
 
 }  // namespace
 
-UpdateCorrelation correlate_updates(
-    const AtomSet& atoms, const std::vector<bgp::UpdateRecord>& updates,
-    std::size_t max_k) {
-  UpdateCorrelation out;
-
-  // --- build entity populations -------------------------------------------
+struct UpdateCorrelator::Impl {
+  std::size_t max_k = 16;
   Entities atom_e;
+  Entities as_e;
+  std::vector<bool> as_has_multi_atom;
+  std::size_t updates_seen = 0;
+
+  // Per-record scratch, reused across feeds.
+  std::vector<bgp::PrefixId> rec_prefixes;
+  std::unordered_map<std::uint32_t, std::uint32_t> touched;  // entity -> count
+
+  void scan(Entities& e) {
+    touched.clear();
+    for (bgp::PrefixId p : rec_prefixes) {
+      const auto it = e.of_prefix.find(p);
+      if (it != e.of_prefix.end()) ++touched[it->second];
+    }
+    for (const auto& [entity, count] : touched) {
+      ++e.n_any[entity];
+      if (count >= e.size[entity]) ++e.n_all[entity];
+    }
+  }
+};
+
+UpdateCorrelator::UpdateCorrelator(const AtomSet& atoms, std::size_t max_k)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->max_k = max_k;
+
+  Entities& atom_e = impl_->atom_e;
   atom_e.size.resize(atoms.atoms.size());
   for (std::uint32_t a = 0; a < atoms.atoms.size(); ++a) {
     atom_e.size[a] = static_cast<std::uint32_t>(atoms.atoms[a].size());
@@ -58,12 +80,9 @@ UpdateCorrelation correlate_updates(
   }
   atom_e.finalize_entity_counts();
 
-  Entities as_e;
-  std::unordered_map<net::Asn, std::uint32_t> as_index;
-  std::vector<bool> as_has_multi_atom;
+  Entities& as_e = impl_->as_e;
   for (const auto& [asn, group] : atoms.atoms_by_origin) {
     const auto id = static_cast<std::uint32_t>(as_e.size.size());
-    as_index.emplace(asn, id);
     std::uint32_t total = 0;
     bool multi = false;
     for (std::uint32_t a : group) {
@@ -74,30 +93,23 @@ UpdateCorrelation correlate_updates(
       }
     }
     as_e.size.push_back(total);
-    as_has_multi_atom.push_back(multi);
+    impl_->as_has_multi_atom.push_back(multi);
   }
   as_e.finalize_entity_counts();
+}
 
-  // --- scan updates ---------------------------------------------------------
+UpdateCorrelator::~UpdateCorrelator() = default;
+UpdateCorrelator::UpdateCorrelator(UpdateCorrelator&&) noexcept = default;
+UpdateCorrelator& UpdateCorrelator::operator=(UpdateCorrelator&&) noexcept =
+    default;
+
+void UpdateCorrelator::feed(std::span<const bgp::UpdateRecord> records) {
   // A prefix may appear in both the announced and withdrawn lists of one
   // record (withdraw + re-announce packed together); it still touches its
   // entity once, so dedupe per record before counting — otherwise a
   // half-updated entity can reach count >= size and inflate Pr_full(k).
-  std::vector<bgp::PrefixId> rec_prefixes;
-  std::unordered_map<std::uint32_t, std::uint32_t> touched;  // entity -> count
-  auto scan = [&](Entities& e) {
-    touched.clear();
-    for (bgp::PrefixId p : rec_prefixes) {
-      const auto it = e.of_prefix.find(p);
-      if (it != e.of_prefix.end()) ++touched[it->second];
-    }
-    for (const auto& [entity, count] : touched) {
-      ++e.n_any[entity];
-      if (count >= e.size[entity]) ++e.n_all[entity];
-    }
-  };
-
-  for (const auto& rec : updates) {
+  auto& rec_prefixes = impl_->rec_prefixes;
+  for (const auto& rec : records) {
     rec_prefixes.assign(rec.announced.begin(), rec.announced.end());
     rec_prefixes.insert(rec_prefixes.end(), rec.withdrawn.begin(),
                         rec.withdrawn.end());
@@ -105,18 +117,22 @@ UpdateCorrelation correlate_updates(
     rec_prefixes.erase(
         std::unique(rec_prefixes.begin(), rec_prefixes.end()),
         rec_prefixes.end());
-    scan(atom_e);
-    scan(as_e);
-    ++out.updates_seen;
+    impl_->scan(impl_->atom_e);
+    impl_->scan(impl_->as_e);
+    ++impl_->updates_seen;
   }
+}
 
-  out.atom = make_curve(atom_e, max_k);
-  out.as_all = make_curve(as_e, max_k);
+UpdateCorrelation UpdateCorrelator::result() const {
+  UpdateCorrelation out;
+  out.updates_seen = impl_->updates_seen;
+  out.atom = make_curve(impl_->atom_e, impl_->max_k);
+  out.as_all = make_curve(impl_->as_e, impl_->max_k);
 
-  // --- AS category curves ----------------------------------------------------
-  Entities as_multi = as_e, as_single = as_e;
-  for (std::size_t i = 0; i < as_e.size.size(); ++i) {
-    if (as_has_multi_atom[i]) {
+  // AS category curves.
+  Entities as_multi = impl_->as_e, as_single = impl_->as_e;
+  for (std::size_t i = 0; i < impl_->as_e.size.size(); ++i) {
+    if (impl_->as_has_multi_atom[i]) {
       as_single.n_all[i] = as_single.n_any[i] = 0;
       as_single.size[i] = 0;
     } else {
@@ -124,9 +140,28 @@ UpdateCorrelation correlate_updates(
       as_multi.size[i] = 0;
     }
   }
-  out.as_multi = make_curve(as_multi, max_k);
-  out.as_single = make_curve(as_single, max_k);
+  out.as_multi = make_curve(as_multi, impl_->max_k);
+  out.as_single = make_curve(as_single, impl_->max_k);
   return out;
+}
+
+UpdateCorrelation correlate_updates(
+    const AtomSet& atoms, const std::vector<bgp::UpdateRecord>& updates,
+    std::size_t max_k) {
+  UpdateCorrelator corr(atoms, max_k);
+  corr.feed({updates.data(), updates.size()});
+  return corr.result();
+}
+
+UpdateCorrelation correlate_updates(const AtomSet& atoms,
+                                    bgp::UpdateStreamView& updates,
+                                    std::size_t max_k) {
+  UpdateCorrelator corr(atoms, max_k);
+  for (auto chunk = updates.next_chunk(); !chunk.empty();
+       chunk = updates.next_chunk()) {
+    corr.feed(chunk);
+  }
+  return corr.result();
 }
 
 }  // namespace bgpatoms::core

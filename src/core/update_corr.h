@@ -9,11 +9,19 @@
 //
 // summed over entities of size k. The AS population is additionally split
 // into "all single-prefix atoms" vs "has a multi-prefix atom" (§4.2).
+//
+// The correlator is incremental: records are fed one chunk at a time, so
+// a streamed update cursor (bgp::UpdateStreamView) correlates without the
+// stream ever being materialized. Results are bit-identical for any
+// chunking of the same record sequence.
 #pragma once
 
 #include <limits>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "bgp/views.h"
 #include "core/atoms.h"
 
 namespace bgpatoms::core {
@@ -38,10 +46,35 @@ struct UpdateCorrelation {
   std::size_t updates_seen = 0;
 };
 
+/// Streaming accumulator: builds the entity populations from `atoms` once,
+/// then counts fed update records. `atoms` must outlive the correlator.
+class UpdateCorrelator {
+ public:
+  explicit UpdateCorrelator(const AtomSet& atoms, std::size_t max_k = 16);
+  ~UpdateCorrelator();
+  UpdateCorrelator(UpdateCorrelator&&) noexcept;
+  UpdateCorrelator& operator=(UpdateCorrelator&&) noexcept;
+
+  /// Counts one batch of records (timestamp order across calls).
+  void feed(std::span<const bgp::UpdateRecord> records);
+
+  /// Snapshot of the curves over everything fed so far.
+  UpdateCorrelation result() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Correlates `updates` (as captured into the dataset that produced
 /// `atoms`) with the atom/AS structure. `max_k` bounds the reported curve.
 UpdateCorrelation correlate_updates(
     const AtomSet& atoms, const std::vector<bgp::UpdateRecord>& updates,
     std::size_t max_k = 16);
+
+/// Same over a streamed cursor: drains `updates` chunk by chunk.
+UpdateCorrelation correlate_updates(const AtomSet& atoms,
+                                    bgp::UpdateStreamView& updates,
+                                    std::size_t max_k = 16);
 
 }  // namespace bgpatoms::core

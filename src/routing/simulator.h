@@ -84,6 +84,15 @@ class Simulator {
   /// Number of composition events applied so far (tests/diagnostics).
   std::size_t events_applied() const { return events_applied_; }
 
+  /// Moves the captured dataset out of the simulator — the campaign layer
+  /// keeps only the data, not the machinery that produced it. The
+  /// simulator must not be used after.
+  bgp::Dataset take_dataset() { return std::move(ds_); }
+
+  /// Moves the topology (the capture's ground truth: vantage points,
+  /// fault-injection flags) out. The simulator must not be used after.
+  topo::Topology take_topology() { return std::move(topo_); }
+
  private:
   enum class EventKind : std::uint8_t { kSplitGlobal, kSplitVpLocal, kMerge };
   struct Event {

@@ -13,10 +13,14 @@
 // bypass and varint() silently wrapping values >= 2^64.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
+#include <string>
 
 #include "bgp/archive.h"
 #include "bgp/archive_format.h"
+#include "bgp/archive_view.h"
+#include "core/analyze.h"
 
 namespace bgpatoms::bgp {
 namespace {
@@ -285,6 +289,109 @@ std::vector<std::uint8_t> reseal_v1(std::vector<std::uint8_t> body_and_crc) {
     body_and_crc.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
   }
   return body_and_crc;
+}
+
+// --- streamed-analysis path -------------------------------------------------
+// The CLI tools feed archives straight into core::analyze through
+// bgp::ArchiveView, so the same hostile-bytes contract must hold there:
+// a mutated file either throws ArchiveError (at open or mid-stream, when
+// a later section turns out corrupt) or the full analysis pass produces
+// results identical to the original dataset's.
+
+core::AnalysisConfig fuzz_analysis_config() {
+  core::AnalysisConfig config;
+  config.sanitize.min_collectors = 1;
+  config.atoms.threads = 1;
+  config.with_stability = true;
+  config.with_updates = true;
+  config.keep_all = true;
+  return config;
+}
+
+void expect_analysis_identical(const core::AnalysisResult& want,
+                               const core::AnalysisResult& got,
+                               const char* what) {
+  EXPECT_EQ(want.snapshots_seen, got.snapshots_seen) << what;
+  ASSERT_EQ(want.atom_sets.size(), got.atom_sets.size()) << what;
+  for (std::size_t i = 0; i < want.atom_sets.size(); ++i) {
+    EXPECT_EQ(want.atom_sets[i].atoms, got.atom_sets[i].atoms) << what;
+  }
+  ASSERT_EQ(want.stability.size(), got.stability.size()) << what;
+  for (std::size_t i = 0; i < want.stability.size(); ++i) {
+    EXPECT_EQ(want.stability[i].result.cam, got.stability[i].result.cam);
+    EXPECT_EQ(want.stability[i].result.mpm, got.stability[i].result.mpm);
+  }
+  ASSERT_EQ(want.correlation.has_value(), got.correlation.has_value()) << what;
+  if (want.correlation) {
+    EXPECT_EQ(want.correlation->updates_seen, got.correlation->updates_seen)
+        << what;
+    EXPECT_EQ(want.correlation->atom.n_all, got.correlation->atom.n_all)
+        << what;
+    EXPECT_EQ(want.correlation->atom.n_any, got.correlation->atom.n_any)
+        << what;
+  }
+}
+
+/// The streamed oracle: ArchiveView + analyze over a mutated file must
+/// throw ArchiveError or match the original's analysis bit for bit.
+void expect_streamed_reject_or_identical(
+    const std::vector<std::uint8_t>& mutated,
+    const core::AnalysisResult& want, const std::string& path,
+    const char* what) {
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!mutated.empty()) {
+      ASSERT_EQ(std::fwrite(mutated.data(), 1, mutated.size(), f),
+                mutated.size());
+    }
+    std::fclose(f);
+  }
+  try {
+    ArchiveView view(path);
+    const core::AnalysisResult got =
+        core::analyze(view, &view, fuzz_analysis_config());
+    expect_analysis_identical(want, got, what);
+  } catch (const ArchiveError&) {
+    // The expected loud failure.
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": wrong exception type: " << e.what();
+  }
+}
+
+TEST(ArchiveFuzz, StreamedAnalysisRejectsOrMatchesOnMutants) {
+  std::mt19937_64 rng(0xA5A5A5A5DEADBEEFULL);  // fixed seed: deterministic
+  const std::string path = testing::TempDir() + "fuzz_streamed.bga";
+  for (const auto& ds : corpus()) {
+    DatasetView mem(ds);
+    const core::AnalysisResult want =
+        core::analyze(mem, &mem, fuzz_analysis_config());
+    for (ArchiveVersion v : {ArchiveVersion::kV1, ArchiveVersion::kV2}) {
+      const auto image = write_archive(ds, v);
+      // Unmutated file: the streamed pass must reproduce the in-memory one.
+      expect_streamed_reject_or_identical(image, want, path, "identity");
+      // Random splices.
+      for (int round = 0; round < 40; ++round) {
+        auto mutated = image;
+        const int edits = 1 + static_cast<int>(rng() % 8);
+        for (int e = 0; e < edits; ++e) {
+          mutated[rng() % mutated.size()] =
+              static_cast<std::uint8_t>(rng() & 0xff);
+        }
+        expect_streamed_reject_or_identical(mutated, want, path,
+                                            "random splice");
+      }
+      // Truncations (always invalid: v1 loses its CRC, v2 its end marker,
+      // but the throw may only surface once the cursor reaches the cut).
+      for (int round = 0; round < 12; ++round) {
+        auto mutated = image;
+        mutated.resize(rng() % image.size());
+        expect_streamed_reject_or_identical(mutated, want, path,
+                                            "truncation");
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ArchiveFuzz, HostileUpdateCountIsRejectedBeforeAllocation) {

@@ -14,7 +14,7 @@ using test::DatasetBuilder;
 const Atom* atom_containing(const AtomSet& atoms,
                             const SanitizedSnapshot& snap,
                             const std::string& prefix) {
-  const auto id = snap.dataset->prefixes.find(*net::Prefix::parse(prefix));
+  const auto id = snap.prefix_pool->find(*net::Prefix::parse(prefix));
   const auto it = atoms.atom_of.find(id);
   return it == atoms.atom_of.end() ? nullptr : &atoms.atoms[it->second];
 }

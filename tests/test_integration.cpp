@@ -104,7 +104,7 @@ TEST(Integration, DatasetSurvivesArchiveRoundTrip) {
   config.seed = 7;
   config.with_updates = true;
   const Campaign c = run_campaign(config);
-  const auto& ds = c.sim->dataset();
+  const auto& ds = c.dataset();
 
   const auto image = bgp::write_archive(ds);
   const bgp::Dataset back = bgp::read_archive(image);
@@ -192,7 +192,7 @@ TEST(Integration, CampaignInfrastructureOverrides) {
   const Campaign c = run_campaign(config);
   EXPECT_EQ(c.era.n_collectors, 1);
   EXPECT_EQ(c.era.n_peers, 13);
-  EXPECT_EQ(c.sim->dataset().collectors.size(), 1u);
+  EXPECT_EQ(c.dataset().collectors.size(), 1u);
   EXPECT_EQ(c.sanitized.front().report.peers_in, 13u);
   EXPECT_EQ(c.sanitized.front().report.full_feed_peers, 13u);
 }
@@ -203,7 +203,7 @@ TEST(Integration, SanitizerAblationKeepsMorePrefixesWithoutFilters) {
   config.scale = 0.01;
   config.seed = 10;
   const Campaign c = run_campaign(config);
-  const auto& ds = c.sim->dataset();
+  const auto& ds = c.dataset();
   SanitizeConfig no_filters;
   no_filters.filter_prefixes = false;
   no_filters.max_prefix_length = 128;

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   cfg.with_stability = true;
   cfg.with_updates = true;
   auto c = core::run_campaign(cfg);
-  std::printf("year %.2f: atoms=%zu events=%zu\n", cfg.year, c.atoms().atoms.size(), c.sim->events_applied());
+  std::printf("year %.2f: atoms=%zu events=%zu\n", cfg.year, c.atoms().atoms.size(), c.events_applied);
   std::printf("  CAM/MPM 8h=%.1f/%.1f 24h=%.1f/%.1f 1w=%.1f/%.1f\n",
     100*c.stability_8h->cam, 100*c.stability_8h->mpm,
     100*c.stability_24h->cam, 100*c.stability_24h->mpm,
