@@ -22,6 +22,7 @@
 #include "core/formation.h"
 #include "core/stability.h"
 #include "core/stats.h"
+#include "obs/obs.h"
 #include "report/options.h"
 
 using namespace bgpatoms;
@@ -43,7 +44,17 @@ constexpr char kUsage[] =
     "  --threads <n>        worker threads for atom grouping; precedence\n"
     "                       is flag > BGPATOMS_THREADS > all hardware\n"
     "                       threads (report/options.h); results are\n"
-    "                       identical for any count\n";
+    "                       identical for any count\n"
+    "  --metrics            print instrumentation counters/timers to\n"
+    "                       stderr on exit\n";
+
+/// Scope guard for --metrics: dumps the obs registry on every exit path.
+struct MetricsAtExit {
+  bool enabled = false;
+  ~MetricsAtExit() {
+    if (enabled) obs::print_summary(stderr);
+  }
+};
 
 void write_csv(const std::string& path, const core::SanitizedSnapshot& snap,
                const core::AtomSet& atoms) {
@@ -107,6 +118,7 @@ int run_trend(const std::vector<std::string>& paths,
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   args.usage_if(args.positional().empty(), kUsage);
+  const MetricsAtExit metrics{args.has("metrics")};
 
   core::AnalysisConfig config;
   config.sanitize.min_peer_ases =

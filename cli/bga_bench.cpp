@@ -13,10 +13,12 @@
 
 #include "cli/args.h"
 #include "experiments/experiments.h"
+#include "obs/obs.h"
 #include "report/experiment.h"
 #include "report/json.h"
 #include "report/options.h"
 #include "report/render.h"
+#include "report/trace.h"
 
 namespace {
 
@@ -41,6 +43,9 @@ constexpr char kUsage[] =
     "                      derive_seed(S, s) (default $BGPATOMS_SEED or the\n"
     "                      paper seeds)\n"
     "  --json FILE         also write the full run report as JSON\n"
+    "  --trace FILE        write the run's metrics as a bgpatoms-trace/1\n"
+    "                      JSON document (validated before exit)\n"
+    "  --metrics           print a one-shot metrics summary to stderr\n"
     "  --strict-checks     exit non-zero when any shape check fails\n";
 
 std::vector<std::string> split_filters(const std::string& value) {
@@ -120,6 +125,36 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::printf("JSON report written to %s\n", path.c_str());
   }
+
+  if (args.has("trace")) {
+    const std::string path = args.get("trace");
+    report::TraceMeta meta;
+    meta.threads = report.threads;
+    meta.scale_multiplier = options.scale_multiplier;
+    const report::json::Value trace =
+        report::trace_to_json(obs::registry().snapshot(), meta);
+    const std::string doc = trace.serialize();
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "bga_bench: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    // Round-trip the document through the parser before declaring it
+    // good: the trace contract is exactly "parses + validates".
+    const std::string problem =
+        report::validate_trace(report::json::Value::parse(doc));
+    if (!problem.empty()) {
+      std::fprintf(stderr, "bga_bench: invalid trace document: %s\n",
+                   problem.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s\n", path.c_str());
+  }
+
+  if (args.has("metrics")) obs::print_summary(stderr);
 
   return options.strict_checks && !report.passed() ? 1 : 0;
 }

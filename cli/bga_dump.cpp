@@ -16,6 +16,7 @@
 #include "bgp/archive_reader.h"
 #include "cli/args.h"
 #include "net/prefix.h"
+#include "obs/obs.h"
 #include "stream/file_reader.h"
 
 using namespace bgpatoms;
@@ -35,7 +36,17 @@ constexpr char kUsage[] =
     "  --time-begin <t>   drop records with timestamp < t\n"
     "  --time-end <t>     drop records with timestamp >= t\n"
     "  --rib-only         RIB rows only (no update NLRIs)\n"
-    "  --updates-only     update NLRIs only (no RIB rows)\n";
+    "  --updates-only     update NLRIs only (no RIB rows)\n"
+    "  --metrics          print instrumentation counters/timers to stderr\n"
+    "                     on exit\n";
+
+/// Scope guard for --metrics: dumps the obs registry on every exit path.
+struct MetricsAtExit {
+  bool enabled = false;
+  ~MetricsAtExit() {
+    if (enabled) obs::print_summary(stderr);
+  }
+};
 
 void print_summary(bgp::ArchiveReader& reader) {
   std::printf("format:      BGA v%d\n", static_cast<int>(reader.version()));
@@ -113,6 +124,7 @@ void print_text(const std::string& path, const stream::Filters& filters) {
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   args.usage_if(args.positional().empty(), kUsage);
+  const MetricsAtExit metrics{args.has("metrics")};
   const std::string& path = args.positional()[0];
 
   try {

@@ -12,6 +12,7 @@
 #include "bgp/archive.h"
 #include "bgp/textdump.h"
 #include "cli/args.h"
+#include "obs/obs.h"
 #include "routing/simulator.h"
 #include "topo/topology.h"
 
@@ -28,7 +29,17 @@ constexpr char kUsage[] =
     "  --updates <h>   also emit an update stream of <h> hours (default 0)\n"
     "  --stability     capture +8h/+24h/+1w snapshots with policy churn\n"
     "  --text          additionally dump the first snapshot as text\n"
+    "  --metrics       print instrumentation counters/timers to stderr\n"
+    "                  on exit\n"
     "  -o / --out <f>  output archive path (required)\n";
+
+/// Scope guard for --metrics: dumps the obs registry on every exit path.
+struct MetricsAtExit {
+  bool enabled = false;
+  ~MetricsAtExit() {
+    if (enabled) obs::print_summary(stderr);
+  }
+};
 
 }  // namespace
 
@@ -37,6 +48,7 @@ int main(int argc, char** argv) {
   std::string out = args.get("out", args.get("o"));
   if (out.empty() && !args.positional().empty()) out = args.positional()[0];
   args.usage_if(out.empty(), kUsage);
+  const MetricsAtExit metrics{args.has("metrics")};
 
   const double year = args.get_double("year", 2024.75);
   const double scale = args.get_double("scale", 0.01);

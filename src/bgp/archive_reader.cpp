@@ -6,6 +6,7 @@
 #include <span>
 
 #include "bgp/archive_format.h"
+#include "obs/obs.h"
 
 namespace bgpatoms::bgp {
 
@@ -34,6 +35,9 @@ ArchiveReader::ArchiveReader(const std::string& path) : path_(path) {
     std::memcpy(image.data(), head, sizeof head);
     read_exact(image.data() + sizeof head, image.size() - sizeof head);
     peak_buffer_ = image.size();
+    OBS_COUNT("archive.v1_image_loads");
+    OBS_COUNT_N("archive.bytes_decoded", image.size());
+    OBS_COUNT("archive.crc_checks");  // v1: one CRC over the whole image
     header_ = read_archive(image);
     return;
   }
@@ -45,6 +49,7 @@ ArchiveReader::ArchiveReader(const std::string& path) : path_(path) {
   std::uint32_t head_crc = 0;
   for (int i = 0; i < 4; ++i)
     head_crc |= std::uint32_t{head_crc_bytes[i]} << (8 * i);
+  OBS_COUNT("archive.crc_checks");
   if (crc32(std::span<const std::uint8_t>(head, sizeof head)) != head_crc)
     throw ArchiveError("header CRC mismatch");
   if (head[4] != 4 && head[4] != 6) throw ArchiveError("bad family");
@@ -81,6 +86,7 @@ void ArchiveReader::read_exact(void* out, std::size_t n) {
 }
 
 std::uint8_t ArchiveReader::read_section(std::vector<std::uint8_t>& payload) {
+  OBS_SPAN("archive.read_section");
   // Frame header: id u8 + length u64 LE.
   std::uint8_t header[9];
   read_exact(header, sizeof header);
@@ -99,10 +105,13 @@ std::uint8_t ArchiveReader::read_section(std::vector<std::uint8_t>& payload) {
   read_exact(crc_bytes, sizeof crc_bytes);
   std::uint32_t stored_crc = 0;
   for (int i = 0; i < 4; ++i) stored_crc |= std::uint32_t{crc_bytes[i]} << (8 * i);
+  OBS_COUNT("archive.crc_checks");
   if (crc32(std::span<const std::uint8_t>(payload.data(), payload.size())) !=
       stored_crc)
     throw ArchiveError("section CRC mismatch");
   if (len > peak_buffer_) peak_buffer_ = len;
+  OBS_COUNT("archive.sections");
+  OBS_COUNT_N("archive.bytes_decoded", sizeof header + len + sizeof crc_bytes);
   return id;
 }
 
@@ -115,8 +124,10 @@ std::optional<Snapshot> ArchiveReader::next_snapshot() {
   if (phase_ != Phase::kSnapshots) return std::nullopt;
 
   if (version_ == ArchiveVersion::kV1) {
-    if (v1_snap_ < header_.snapshots.size())
+    if (v1_snap_ < header_.snapshots.size()) {
+      OBS_COUNT("archive.snapshots_decoded");
       return std::move(header_.snapshots[v1_snap_++]);
+    }
     phase_ = Phase::kUpdates;
     return std::nullopt;
   }
@@ -127,6 +138,7 @@ std::optional<Snapshot> ArchiveReader::next_snapshot() {
     ByteReader r(payload);
     Snapshot snap = decode_snapshot(r, header_);
     if (!r.at_end()) throw ArchiveError("trailing bytes in section");
+    OBS_COUNT("archive.snapshots_decoded");
     return snap;
   }
   // The snapshot run is over; hand the section to the updates phase.
@@ -143,6 +155,8 @@ std::optional<std::vector<UpdateRecord>> ArchiveReader::next_updates() {
   if (version_ == ArchiveVersion::kV1) {
     phase_ = Phase::kDone;
     if (header_.updates.empty()) return std::nullopt;
+    OBS_COUNT("archive.update_chunks");
+    OBS_COUNT_N("archive.update_records_decoded", header_.updates.size());
     return std::move(header_.updates);
   }
 
@@ -165,6 +179,8 @@ std::optional<std::vector<UpdateRecord>> ArchiveReader::next_updates() {
   ByteReader r(payload);
   auto chunk = decode_updates(r, header_);
   if (!r.at_end()) throw ArchiveError("trailing bytes in section");
+  OBS_COUNT("archive.update_chunks");
+  OBS_COUNT_N("archive.update_records_decoded", chunk.size());
   return chunk;
 }
 

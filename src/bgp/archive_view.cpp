@@ -1,5 +1,7 @@
 #include "bgp/archive_view.h"
 
+#include "obs/obs.h"
+
 namespace bgpatoms::bgp {
 
 ArchiveView::ArchiveView(const std::string& path) : reader_(path) {}
@@ -8,6 +10,10 @@ void ArchiveView::note_residency() {
   const std::size_t resident =
       (snap_ ? Dataset::record_count(*snap_) : 0) +
       (chunk_ ? chunk_->size() : 0);
+  // Distribution of chunk/section residency as the cursors advance: the
+  // streamed-path bound perf_archive --rss-guard enforces, now visible
+  // per run in the trace document.
+  OBS_HISTOGRAM("archive.resident_records", resident);
   if (resident > peak_resident_) peak_resident_ = resident;
 }
 

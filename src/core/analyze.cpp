@@ -1,8 +1,32 @@
 #include "core/analyze.h"
 
+#include "obs/obs.h"
+
 namespace bgpatoms::core {
 
 namespace {
+
+/// sanitize() under its per-stage span, with the shared work counters.
+SanitizedSnapshot sanitize_traced(bgp::SnapshotView& view,
+                                  const bgp::Snapshot& snap,
+                                  const SanitizeConfig& config) {
+  OBS_SPAN("analyze.sanitize");
+  return sanitize(view, snap, config);
+}
+
+/// compute_atoms() under its per-stage span.
+AtomSet atoms_traced(const SanitizedSnapshot& san, const AtomOptions& options) {
+  OBS_SPAN("analyze.atoms");
+  OBS_COUNT("analyze.atom_sets_computed");
+  return compute_atoms(san, options);
+}
+
+/// stability() under its per-stage span.
+StabilityResult stability_traced(const AtomSet& reference,
+                                 const AtomSet& later) {
+  OBS_SPAN("analyze.stability");
+  return stability(reference, later);
+}
 
 /// Appends `san`'s products to (sanitized, atom_sets), computing atoms
 /// after insertion so AtomSet::snapshot points at the deque element.
@@ -11,7 +35,7 @@ const AtomSet& emplace_products(std::deque<SanitizedSnapshot>& sanitized,
                                 SanitizedSnapshot&& san,
                                 const AtomOptions& options) {
   sanitized.push_back(std::move(san));
-  atom_sets.push_back(compute_atoms(sanitized.back(), options));
+  atom_sets.push_back(atoms_traced(sanitized.back(), options));
   return atom_sets.back();
 }
 
@@ -34,6 +58,12 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
   for (const bgp::Snapshot* snap = snapshots.next_snapshot(); snap != nullptr;
        snap = snapshots.next_snapshot(), ++i) {
     ++out.snapshots_seen;
+    // Backend-independent work accounting: both counters must come out
+    // identical for a DatasetView and an ArchiveView over the same
+    // campaign (test_views pins this), catching silent double-reads or
+    // skipped sections that byte-identical *products* alone would miss.
+    OBS_COUNT("analyze.snapshots_seen");
+    OBS_COUNT_N("analyze.records_seen", bgp::Dataset::record_count(*snap));
     const bool keep = config.keep_all || i == ref;
     const bool buffer =
         !keep && config.with_stability && i >= 1 && i < ref;
@@ -43,21 +73,21 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
 
     if (keep) {
       emplace_products(out.sanitized, out.atom_sets,
-                       sanitize(snapshots, *snap, config.sanitize),
+                       sanitize_traced(snapshots, *snap, config.sanitize),
                        config.atoms);
       if (i == ref) out.reference_index = out.atom_sets.size() - 1;
     } else if (buffer) {
       emplace_products(pending_san, pending_atoms,
-                       sanitize(snapshots, *snap, config.sanitize),
+                       sanitize_traced(snapshots, *snap, config.sanitize),
                        config.atoms);
     } else {
       // Transient later snapshot (streamed stability): products live only
       // for this iteration; i > ref, so the reference already exists.
       const SanitizedSnapshot san =
-          sanitize(snapshots, *snap, config.sanitize);
-      const AtomSet atoms = compute_atoms(san, config.atoms);
+          sanitize_traced(snapshots, *snap, config.sanitize);
+      const AtomSet atoms = atoms_traced(san, config.atoms);
       out.stability.push_back(
-          {i, san.timestamp, stability(out.reference_atoms(), atoms)});
+          {i, san.timestamp, stability_traced(out.reference_atoms(), atoms)});
       continue;
     }
 
@@ -70,14 +100,14 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
       if (config.keep_all) {
         for (std::size_t j = 1; j < ref; ++j) {
           out.stability.push_back({j, out.sanitized[j].timestamp,
-                                   stability(out.reference_atoms(),
-                                             out.atom_sets[j])});
+                                   stability_traced(out.reference_atoms(),
+                                                    out.atom_sets[j])});
         }
       } else {
         for (std::size_t j = 0; j < pending_atoms.size(); ++j) {
           out.stability.push_back({j + 1, pending_san[j].timestamp,
-                                   stability(out.reference_atoms(),
-                                             pending_atoms[j])});
+                                   stability_traced(out.reference_atoms(),
+                                                    pending_atoms[j])});
         }
         pending_atoms.clear();
         pending_san.clear();
@@ -85,19 +115,23 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
       if (i >= 1) {
         out.stability.push_back(
             {i, out.reference().timestamp,
-             stability(out.reference_atoms(), out.reference_atoms())});
+             stability_traced(out.reference_atoms(), out.reference_atoms())});
       }
     } else if (i > ref && i >= 1) {
       // keep_all retained snapshot after the reference.
       out.stability.push_back({i, out.sanitized.back().timestamp,
-                               stability(out.reference_atoms(),
-                                         out.atom_sets.back())});
+                               stability_traced(out.reference_atoms(),
+                                                out.atom_sets.back())});
     }
   }
 
   if (out.has_reference()) {
-    out.stats = general_stats(out.reference_atoms());
+    {
+      OBS_SPAN("analyze.stats");
+      out.stats = general_stats(out.reference_atoms());
+    }
     if (config.with_updates && updates != nullptr) {
+      OBS_SPAN("analyze.update_corr");
       out.correlation = correlate_updates(out.reference_atoms(), *updates,
                                           config.update_max_k);
     }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "obs/obs.h"
+
 namespace bgpatoms::core {
 
 namespace {
@@ -70,6 +72,7 @@ double FormationResult::cause_share(DistanceOneCause c) const {
 
 FormationResult formation_distance(const AtomSet& atoms,
                                    PrependMethod method) {
+  OBS_SPAN("analyze.formation");
   FormationResult out;
   const std::size_t n_atoms = atoms.atoms.size();
   out.distance.assign(n_atoms, 1);

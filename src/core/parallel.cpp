@@ -4,6 +4,7 @@
 
 #include "core/env.h"
 #include "net/rng.h"
+#include "obs/obs.h"
 
 namespace bgpatoms::core {
 
@@ -44,9 +45,15 @@ TaskPool::~TaskPool() {
 
 void TaskPool::drain(const std::function<void(std::size_t)>& body,
                      std::size_t n) {
+#if BGPATOMS_OBS_ENABLED
+  std::size_t executed = 0;  // this thread's share of the batch
+#endif
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
+    if (i >= n) break;
+#if BGPATOMS_OBS_ENABLED
+    ++executed;
+#endif
     try {
       body(i);
     } catch (...) {
@@ -54,11 +61,22 @@ void TaskPool::drain(const std::function<void(std::size_t)>& body,
       if (!error_) error_ = std::current_exception();
     }
   }
+#if BGPATOMS_OBS_ENABLED
+  // Scheduling-dependent by design (load balance across workers): a
+  // histogram, never a counter — the golden-trace determinism tier only
+  // compares counters across thread counts.
+  OBS_HISTOGRAM("pool.tasks_per_worker", executed);
+#endif
 }
 
 void TaskPool::run(std::size_t n,
                    const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  // Batch/task totals are workload-determined (thread-count invariant);
+  // the span covers dispatch through barrier.
+  OBS_COUNT("pool.batches");
+  OBS_COUNT_N("pool.tasks", n);
+  OBS_SPAN("pool.run");
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
@@ -71,6 +89,9 @@ void TaskPool::run(std::size_t n,
     active_ = workers_.size();
     error_ = nullptr;
     ++generation_;
+#if BGPATOMS_OBS_ENABLED
+    batch_start_ns_ = obs::monotonic_ns();
+#endif
   }
   cv_start_.notify_all();
   drain(body, n);
@@ -96,6 +117,7 @@ void TaskPool::worker_loop() {
       seen = generation_;
       body = body_;
       n = batch_n_;
+      OBS_TIME_NS("pool.queue_wait", obs::monotonic_ns() - batch_start_ns_);
     }
     drain(*body, n);
     {

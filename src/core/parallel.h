@@ -64,6 +64,8 @@ class TaskPool {
   const std::function<void(std::size_t)>* body_ = nullptr;  // current batch
   std::size_t batch_n_ = 0;
   std::uint64_t generation_ = 0;  // bumped per batch to wake workers
+  std::uint64_t batch_start_ns_ = 0;  // dispatch time of the current batch
+                                      // (obs queue-wait accounting)
   std::size_t active_ = 0;        // workers still inside the current batch
   bool stop_ = false;
   std::exception_ptr error_;

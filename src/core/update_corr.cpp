@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace bgpatoms::core {
 
 namespace {
@@ -104,6 +106,9 @@ UpdateCorrelator& UpdateCorrelator::operator=(UpdateCorrelator&&) noexcept =
     default;
 
 void UpdateCorrelator::feed(std::span<const bgp::UpdateRecord> records) {
+  // Per-chunk, not per-record: the feed granularity both backends share,
+  // so the counter comes out identical for in-memory and streamed runs.
+  OBS_COUNT_N("analyze.update_records_seen", records.size());
   // A prefix may appear in both the announced and withdrawn lists of one
   // record (withdraw + re-announce packed together); it still touches its
   // entity once, so dedupe per record before counting — otherwise a

@@ -1,0 +1,226 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace bgpatoms::obs {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// -------------------------------------------------------------------- Timer
+
+void Timer::record(std::uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Timer::min_ns() const {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+void Timer::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+int Histogram::bucket_index(std::uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+std::uint64_t Histogram::bucket_upper(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------- Span
+
+namespace {
+thread_local int t_span_depth = 0;
+}  // namespace
+
+Span::Span(Timer& timer)
+    : timer_(&timer), start_(monotonic_ns()), depth_(t_span_depth++) {}
+
+Span::~Span() {
+  --t_span_depth;
+  timer_->record(monotonic_ns() - start_);
+}
+
+int Span::active_depth() { return t_span_depth; }
+
+// ------------------------------------------------------------------- memory
+
+MemorySample sample_memory() {
+  MemorySample out;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return out;  // non-procfs platform: report zeros
+  char line[256];
+  while (std::fgets(line, sizeof line, f)) {
+    std::uint64_t kib = 0;
+    if (std::sscanf(line, "VmRSS: %" SCNu64, &kib) == 1) {
+      out.rss_bytes = kib * 1024;
+    } else if (std::sscanf(line, "VmHWM: %" SCNu64, &kib) == 1) {
+      out.peak_rss_bytes = kib * 1024;
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+// ----------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: references stay valid across inserts, iteration is already
+  // name-sorted for snapshots.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Timer>> timers;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumentation sites hold references from static
+  // storage, and destruction order at exit is otherwise unsequenced.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->timers[std::string(name)];
+  if (!slot) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& slot = impl_->histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::size_t Registry::counter_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters.size();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    out.counters.push_back({name, c->value()});
+  }
+  out.timers.reserve(impl_->timers.size());
+  for (const auto& [name, t] : impl_->timers) {
+    out.timers.push_back(
+        {name, t->count(), t->total_ns(), t->min_ns(), t->max_ns()});
+  }
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramValue v;
+    v.name = name;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      v.count += n;
+      v.buckets.push_back({Histogram::bucket_upper(i), n});
+    }
+    out.histograms.push_back(std::move(v));
+  }
+  out.memory = sample_memory();
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, t] : impl_->timers) t->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+// ------------------------------------------------------------ print_summary
+
+void print_summary(std::FILE* out) {
+  const MetricsSnapshot snap = registry().snapshot();
+  if (snap.counters.empty() && snap.timers.empty() &&
+      snap.histograms.empty()) {
+    return;
+  }
+  std::fprintf(out, "-- metrics %s\n",
+               "----------------------------------------------------");
+  if (!snap.counters.empty()) {
+    std::fprintf(out, "counters:\n");
+    for (const auto& c : snap.counters) {
+      std::fprintf(out, "  %-40s %20" PRIu64 "\n", c.name.c_str(), c.value);
+    }
+  }
+  if (!snap.timers.empty()) {
+    std::fprintf(out, "timers: (count, total ms, mean us, max us)\n");
+    for (const auto& t : snap.timers) {
+      const double mean_us =
+          t.count ? static_cast<double>(t.total_ns) / t.count / 1e3 : 0.0;
+      std::fprintf(out, "  %-40s %10" PRIu64 " %12.3f %12.1f %12.1f\n",
+                   t.name.c_str(), t.count, t.total_ns / 1e6, mean_us,
+                   t.max_ns / 1e3);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "histograms: (count, largest bucket <= upper bound)\n");
+    for (const auto& h : snap.histograms) {
+      const std::uint64_t top =
+          h.buckets.empty() ? 0 : h.buckets.back().upper_bound;
+      std::fprintf(out, "  %-40s %10" PRIu64 "  <= %" PRIu64 "\n",
+                   h.name.c_str(), h.count, top);
+    }
+  }
+  std::fprintf(out, "memory: rss %.1f MiB, peak %.1f MiB\n",
+               snap.memory.rss_bytes / 1048576.0,
+               snap.memory.peak_rss_bytes / 1048576.0);
+}
+
+}  // namespace bgpatoms::obs

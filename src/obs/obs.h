@@ -1,0 +1,281 @@
+// Low-overhead tracing and metrics: the observability layer every hot
+// path reports through.
+//
+// Primitives (all thread-safe, all registered by name in a process-wide
+// registry):
+//
+//   * Counter   — a relaxed atomic u64; OBS_COUNT/OBS_COUNT_N sites pay
+//                 one atomic add after a one-time name lookup cached in a
+//                 function-local static reference.
+//   * Timer     — aggregated span statistics (count/total/min/max in
+//                 nanoseconds) accumulated lock-free; never stores
+//                 per-event records, so instrumented loops cannot grow
+//                 memory.
+//   * Span      — RAII phase timer over the monotonic clock; records into
+//                 a Timer on destruction and tracks per-thread nesting
+//                 depth (a Span opened inside another Span's scope reports
+//                 depth parent+1).
+//   * Histogram — 65 power-of-two buckets (bucket 0 = value 0, bucket i =
+//                 [2^(i-1), 2^i - 1]); used for per-snapshot latencies and
+//                 residency distributions.
+//   * sample_memory() — process RSS / peak RSS from /proc/self/status
+//                 (zeros where unavailable).
+//
+// Determinism contract: counter values must not depend on worker count or
+// scheduling — sites count work items (records, sections, cache hits),
+// never per-thread artifacts. Anything scheduling-dependent (queue wait,
+// per-worker task share) goes into timers or histograms, which the
+// golden-trace tier checks only for presence, not value. Registry
+// snapshots are sorted by name so emitted documents are order-stable even
+// though registration order depends on which site runs first.
+//
+// Compile-out: building with -DBGPATOMS_OBS_DISABLED (CMake option
+// BGPATOMS_OBS=OFF) turns every OBS_* macro into a no-op statement whose
+// arguments are never evaluated — no counters are registered, no atomics
+// touched, and instrumented binaries are byte-identical in output to
+// uninstrumented ones. The classes themselves stay compiled so explicit
+// (non-macro) users keep linking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgpatoms::obs {
+
+/// Monotonic wall-clock in nanoseconds (steady_clock; never jumps back).
+std::uint64_t monotonic_ns();
+
+/// Thread-safe named counter. add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Aggregated span statistics: count/total/min/max nanoseconds, lock-free.
+class Timer {
+ public:
+  void record(std::uint64_t ns);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// 0 when no span was recorded yet.
+  std::uint64_t min_ns() const;
+  std::uint64_t max_ns() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Power-of-two bucket histogram: bucket 0 counts the value 0, bucket
+/// i >= 1 counts values in [2^(i-1), 2^i - 1] (i.e. bit_width(v) == i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Index of the bucket `value` falls into (0..64).
+  static int bucket_index(std::uint64_t value);
+  /// Inclusive upper bound of bucket `i` (0, 1, 3, 7, ..., UINT64_MAX).
+  static std::uint64_t bucket_upper(int i);
+
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_count() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+/// RAII phase timer: measures its own scope and records into `timer` on
+/// destruction. Nesting is tracked per thread: depth() is 0 for a
+/// top-level span, parent depth + 1 inside another live span.
+class Span {
+ public:
+  explicit Span(Timer& timer);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  int depth() const { return depth_; }
+  /// Number of Spans currently open on this thread.
+  static int active_depth();
+
+ private:
+  Timer* timer_;
+  std::uint64_t start_;
+  int depth_;
+};
+
+struct MemorySample {
+  std::uint64_t rss_bytes = 0;       // current resident set (VmRSS)
+  std::uint64_t peak_rss_bytes = 0;  // high-water mark (VmHWM)
+};
+
+/// One-shot process memory sample; zeros when /proc is unavailable.
+MemorySample sample_memory();
+
+// ------------------------------------------------------------------ snapshot
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TimerValue {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+struct HistogramBucket {
+  std::uint64_t upper_bound = 0;  // inclusive
+  std::uint64_t count = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  std::uint64_t count = 0;
+  /// Non-empty buckets only, ascending by upper_bound.
+  std::vector<HistogramBucket> buckets;
+};
+
+/// A point-in-time copy of every registered metric, each section sorted
+/// by name (stable regardless of registration order), plus one memory
+/// sample taken at snapshot time.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<TimerValue> timers;
+  std::vector<HistogramValue> histograms;
+  MemorySample memory;
+};
+
+/// Process-wide name -> metric registry. Lookup registers on first use
+/// and returns a stable reference; instrumentation sites cache it in a
+/// function-local static so steady-state cost is the atomic op alone.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  std::size_t counter_count() const;
+
+  /// Zeroes every registered metric (references stay valid) — test
+  /// isolation and the start of a traced run.
+  void reset_values();
+
+  static Registry& instance();
+
+ private:
+  struct Impl;
+  Registry();
+  Impl* impl_;  // intentionally leaked: sites hold references at exit
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+/// One-shot human-readable dump of the current registry contents (the
+/// CLIs' --metrics flag). Writes nothing when no metric was registered.
+void print_summary(std::FILE* out);
+
+}  // namespace bgpatoms::obs
+
+// ---------------------------------------------------------------- macro API
+//
+// Statement macros; `name` must be a string literal (or at least live for
+// the whole process — the registry keys a copy, but the cached reference
+// is per call site).
+
+#define BGPATOMS_OBS_CAT2(a, b) a##b
+#define BGPATOMS_OBS_CAT(a, b) BGPATOMS_OBS_CAT2(a, b)
+
+#if !defined(BGPATOMS_OBS_DISABLED)
+#define BGPATOMS_OBS_ENABLED 1
+
+/// Increment the named counter by 1.
+#define OBS_COUNT(name)                               \
+  do {                                                \
+    static ::bgpatoms::obs::Counter& obs_counter_ =   \
+        ::bgpatoms::obs::registry().counter(name);    \
+    obs_counter_.add(1);                              \
+  } while (0)
+
+/// Increment the named counter by `n`.
+#define OBS_COUNT_N(name, n)                              \
+  do {                                                    \
+    static ::bgpatoms::obs::Counter& obs_counter_ =       \
+        ::bgpatoms::obs::registry().counter(name);        \
+    obs_counter_.add(static_cast<std::uint64_t>(n));      \
+  } while (0)
+
+/// Time the rest of the enclosing scope into the named Timer.
+#define OBS_SPAN(name)                                                      \
+  static ::bgpatoms::obs::Timer& BGPATOMS_OBS_CAT(obs_timer_, __LINE__) =   \
+      ::bgpatoms::obs::registry().timer(name);                              \
+  const ::bgpatoms::obs::Span BGPATOMS_OBS_CAT(obs_span_, __LINE__)(        \
+      BGPATOMS_OBS_CAT(obs_timer_, __LINE__))
+
+/// Record an externally measured duration into the named Timer.
+#define OBS_TIME_NS(name, ns)                             \
+  do {                                                    \
+    static ::bgpatoms::obs::Timer& obs_timer_ =           \
+        ::bgpatoms::obs::registry().timer(name);          \
+    obs_timer_.record(static_cast<std::uint64_t>(ns));    \
+  } while (0)
+
+/// Record a value into the named power-of-two histogram.
+#define OBS_HISTOGRAM(name, value)                          \
+  do {                                                      \
+    static ::bgpatoms::obs::Histogram& obs_histogram_ =     \
+        ::bgpatoms::obs::registry().histogram(name);        \
+    obs_histogram_.record(static_cast<std::uint64_t>(value)); \
+  } while (0)
+
+#else  // BGPATOMS_OBS_DISABLED
+#define BGPATOMS_OBS_ENABLED 0
+
+// No-ops: arguments are never evaluated (sizeof is an unevaluated
+// context), so a disabled build pays nothing — not even the expression.
+#define OBS_COUNT(name) \
+  do {                  \
+  } while (0)
+#define OBS_COUNT_N(name, n)  \
+  do {                        \
+    (void)sizeof((void)(n), 0); \
+  } while (0)
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (0)
+#define OBS_TIME_NS(name, ns)  \
+  do {                         \
+    (void)sizeof((void)(ns), 0); \
+  } while (0)
+#define OBS_HISTOGRAM(name, value)  \
+  do {                              \
+    (void)sizeof((void)(value), 0);   \
+  } while (0)
+
+#endif  // BGPATOMS_OBS_DISABLED

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 
 namespace bgpatoms::report {
 namespace {
@@ -52,6 +53,7 @@ std::shared_ptr<const core::Campaign> CampaignCache::campaign(
     const auto it = campaigns_.find(key);
     if (it != campaigns_.end()) {
       ++stats_.campaign_hits;
+      OBS_COUNT("cache.campaign_hits");
       return it->second;
     }
   }
@@ -60,6 +62,7 @@ std::shared_ptr<const core::Campaign> CampaignCache::campaign(
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = campaigns_.emplace(key, std::move(run));
   ++stats_.campaign_misses;
+  OBS_COUNT("cache.campaign_misses");
   return it->second;
 }
 
@@ -71,6 +74,7 @@ core::QuarterMetrics CampaignCache::quarter(
     const auto it = quarters_.find(key);
     if (it != quarters_.end()) {
       ++stats_.quarter_hits;
+      OBS_COUNT("cache.quarter_hits");
       return it->second;
     }
   }
@@ -79,6 +83,7 @@ core::QuarterMetrics CampaignCache::quarter(
   std::lock_guard<std::mutex> lock(mu_);
   quarters_.emplace(key, m);
   ++stats_.quarter_misses;
+  OBS_COUNT("cache.quarter_misses");
   return m;
 }
 
@@ -102,6 +107,7 @@ std::vector<core::QuarterMetrics> CampaignCache::sweep(
       if (it != quarters_.end()) {
         out[i] = it->second;
         ++stats_.quarter_hits;
+        OBS_COUNT("cache.quarter_hits");
       } else {
         missing.push_back(jobs[i]);
         missing_at.push_back(i);
@@ -116,6 +122,7 @@ std::vector<core::QuarterMetrics> CampaignCache::sweep(
     out[missing_at[j]] = fresh[j];
     quarters_.emplace(campaign_cache_key(missing[j].config), fresh[j]);
     ++stats_.quarter_misses;
+    OBS_COUNT("cache.quarter_misses");
   }
   return out;
 }

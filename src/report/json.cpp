@@ -48,6 +48,16 @@ void append_number(std::string& out, double d) {
   out += buf;
 }
 
+// Digit-exact integer rendering: counters can exceed 2^53, where the
+// double path would silently round.
+template <typename Int>
+void append_integer(std::string& out, Int i) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, i);
+  (void)ec;  // 24 bytes always fit a 64-bit integer
+  out.append(buf, ptr);
+}
+
 void serialize_to(const Value& v, std::string& out, int depth);
 
 void append_indent(std::string& out, int depth) {
@@ -60,7 +70,15 @@ void serialize_to(const Value& v, std::string& out, int depth) {
   } else if (v.is_bool()) {
     out += v.as_bool() ? "true" : "false";
   } else if (v.is_number()) {
-    append_number(out, v.as_number());
+    if (v.is_integer()) {
+      if (v.as_number() < 0) {
+        append_integer(out, v.as_int64());
+      } else {
+        append_integer(out, v.as_uint64());
+      }
+    } else {
+      append_number(out, v.as_number());
+    }
   } else if (v.is_string()) {
     append_escaped(out, v.as_string());
   } else if (v.is_array()) {
@@ -253,9 +271,11 @@ class Parser {
 
   Value parse_number() {
     const std::size_t start = pos_;
+    bool fractional = false;
     if (peek() == '-') ++pos_;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
+      if (c == '.' || c == 'e' || c == 'E') fractional = true;
       if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
           c == 'e' || c == 'E') {
         ++pos_;
@@ -263,9 +283,25 @@ class Parser {
         break;
       }
     }
-    double value = 0;
     const char* begin = text_.data() + start;
     const char* end = text_.data() + pos_;
+    if (!fractional) {
+      // Integer fast path: digit-exact for the full 64-bit range, so
+      // counter values >= 2^53 round-trip. Out-of-range literals fall
+      // through to the double path below.
+      if (*begin == '-') {
+        std::int64_t value = 0;
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec == std::errc() && ptr == end) return Value(value);
+        if (ec != std::errc::result_out_of_range) fail("bad number");
+      } else {
+        std::uint64_t value = 0;
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec == std::errc() && ptr == end) return Value(value);
+        if (ec != std::errc::result_out_of_range) fail("bad number");
+      }
+    }
+    double value = 0;
     const auto [ptr, ec] = std::from_chars(begin, end, value);
     if (ec != std::errc() || ptr != end) fail("bad number");
     return Value(value);
@@ -276,6 +312,53 @@ class Parser {
 };
 
 }  // namespace
+
+double Value::as_number() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_))
+    return static_cast<double>(*i);
+  if (const auto* u = std::get_if<std::uint64_t>(&data_))
+    return static_cast<double>(*u);
+  return std::get<double>(data_);
+}
+
+std::uint64_t Value::as_uint64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&data_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&data_))
+    return static_cast<std::uint64_t>(*i);
+  return static_cast<std::uint64_t>(std::get<double>(data_));
+}
+
+std::int64_t Value::as_int64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&data_))
+    return static_cast<std::int64_t>(*u);
+  return static_cast<std::int64_t>(std::get<double>(data_));
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.data_.index() == b.data_.index()) return a.data_ == b.data_;
+  // Different alternatives can only be equal as numbers.
+  if (!a.is_number() || !b.is_number()) return false;
+  if (a.is_integer() && b.is_integer()) {
+    // One int64, one uint64: equal iff the signed side is non-negative
+    // and the magnitudes match.
+    const Value& s = std::holds_alternative<std::int64_t>(a.data_) ? a : b;
+    const Value& u = (&s == &a) ? b : a;
+    const std::int64_t sv = std::get<std::int64_t>(s.data_);
+    if (sv < 0) return false;
+    return static_cast<std::uint64_t>(sv) == std::get<std::uint64_t>(u.data_);
+  }
+  // Integer vs double: compare as long double, whose 64-bit mantissa on
+  // x86-64 represents every 64-bit integer exactly — no false equality
+  // for values a double cannot hold.
+  const Value& i = a.is_integer() ? a : b;
+  const Value& d = (&i == &a) ? b : a;
+  const long double dv =
+      static_cast<long double>(std::get<double>(d.data_));
+  if (const auto* s = std::get_if<std::int64_t>(&i.data_))
+    return static_cast<long double>(*s) == dv;
+  return static_cast<long double>(std::get<std::uint64_t>(i.data_)) == dv;
+}
 
 const Value* Value::find(std::string_view key) const {
   if (!is_object()) return nullptr;

@@ -2,6 +2,14 @@
 // report and to parse it back (round-trip tested), with no external
 // dependency. Objects preserve insertion order so emitted reports are
 // byte-stable across runs.
+//
+// Numbers: integers are stored as int64/uint64 and serialized digit-exact
+// (no double round-trip), so 64-bit counter values >= 2^53 survive; the
+// parser takes the same integer fast path for literals without '.', 'e'
+// or 'E'. Doubles remain for fractional values. Numeric equality is by
+// value across representations (3 == 3.0), with integer/double mixes
+// compared exactly — a uint64 that a double cannot represent never
+// compares equal to one.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +32,9 @@ class Value {
   Value(std::nullptr_t) : data_(nullptr) {}
   Value(bool b) : data_(b) {}
   Value(double d) : data_(d) {}
-  Value(int i) : data_(static_cast<double>(i)) {}
-  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
-  Value(std::uint64_t u) : data_(static_cast<double>(u)) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t u) : data_(u) {}
   Value(const char* s) : data_(std::string(s)) {}
   Value(std::string s) : data_(std::move(s)) {}
   Value(Array a) : data_(std::move(a)) {}
@@ -34,13 +42,28 @@ class Value {
 
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
   bool is_bool() const { return std::holds_alternative<bool>(data_); }
-  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(data_) ||
+           std::holds_alternative<std::int64_t>(data_) ||
+           std::holds_alternative<std::uint64_t>(data_);
+  }
+  /// True for values held exactly as 64-bit integers (digit-exact
+  /// serialization; counters above 2^53 keep every digit).
+  bool is_integer() const {
+    return std::holds_alternative<std::int64_t>(data_) ||
+           std::holds_alternative<std::uint64_t>(data_);
+  }
   bool is_string() const { return std::holds_alternative<std::string>(data_); }
   bool is_array() const { return std::holds_alternative<Array>(data_); }
   bool is_object() const { return std::holds_alternative<Object>(data_); }
 
   bool as_bool() const { return std::get<bool>(data_); }
-  double as_number() const { return std::get<double>(data_); }
+  /// Numeric value as double (lossy above 2^53 for integers).
+  double as_number() const;
+  /// Exact unsigned value; requires a non-negative integer value.
+  std::uint64_t as_uint64() const;
+  /// Exact signed value; requires an integer value representable in int64.
+  std::int64_t as_int64() const;
   const std::string& as_string() const { return std::get<std::string>(data_); }
   const Array& as_array() const { return std::get<Array>(data_); }
   const Object& as_object() const { return std::get<Object>(data_); }
@@ -57,10 +80,14 @@ class Value {
   /// trailing garbage.
   static Value parse(std::string_view text);
 
-  friend bool operator==(const Value&, const Value&) = default;
+  /// Structural equality; numbers compare by value across the three
+  /// numeric representations, exactly (no double rounding of integers).
+  friend bool operator==(const Value& a, const Value& b);
 
  private:
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      data_;
 };
 
 }  // namespace bgpatoms::report::json

@@ -1,0 +1,169 @@
+#include "report/trace.h"
+
+#include <string_view>
+
+namespace bgpatoms::report {
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+constexpr std::string_view kSchema = "bgpatoms-trace/1";
+
+// -------------------------------------------------------------- validation
+
+/// Non-negative integer field check; JSON has no unsigned type, so a
+/// negative literal would parse as int64.
+const char* check_u64_field(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return "missing numeric field";
+  if (!v->is_integer() || v->as_number() < 0) return "not a non-negative integer";
+  return nullptr;
+}
+
+std::string field_error(const char* section, const char* key,
+                        const char* what) {
+  return std::string(section) + "." + key + ": " + what;
+}
+
+}  // namespace
+
+json::Value trace_to_json(const obs::MetricsSnapshot& snapshot,
+                          const TraceMeta& meta) {
+  Object counters;
+  counters.reserve(snapshot.counters.size());
+  for (const auto& c : snapshot.counters) {
+    counters.emplace_back(c.name, Value(c.value));
+  }
+
+  Array timers;
+  timers.reserve(snapshot.timers.size());
+  for (const auto& t : snapshot.timers) {
+    timers.push_back(Value(Object{
+        {"name", Value(t.name)},
+        {"count", Value(t.count)},
+        {"total_ns", Value(t.total_ns)},
+        {"min_ns", Value(t.min_ns)},
+        {"max_ns", Value(t.max_ns)},
+    }));
+  }
+
+  Array histograms;
+  histograms.reserve(snapshot.histograms.size());
+  for (const auto& h : snapshot.histograms) {
+    Array buckets;
+    buckets.reserve(h.buckets.size());
+    for (const auto& b : h.buckets) {
+      buckets.push_back(Value(Object{
+          {"le", Value(b.upper_bound)},
+          {"count", Value(b.count)},
+      }));
+    }
+    histograms.push_back(Value(Object{
+        {"name", Value(h.name)},
+        {"count", Value(h.count)},
+        {"buckets", Value(std::move(buckets))},
+    }));
+  }
+
+  return Value(Object{
+      {"schema", Value(std::string(kSchema))},
+      {"threads", Value(meta.threads)},
+      {"scale_multiplier", Value(meta.scale_multiplier)},
+      {"counters", Value(std::move(counters))},
+      {"timers", Value(std::move(timers))},
+      {"histograms", Value(std::move(histograms))},
+      {"memory", Value(Object{
+                     {"rss_bytes", Value(snapshot.memory.rss_bytes)},
+                     {"peak_rss_bytes", Value(snapshot.memory.peak_rss_bytes)},
+                 })},
+  });
+}
+
+std::string validate_trace(const json::Value& trace) {
+  if (!trace.is_object()) return "trace: not an object";
+
+  const Value* schema = trace.find("schema");
+  if (schema == nullptr || !schema->is_string())
+    return "trace.schema: missing string field";
+  if (schema->as_string() != kSchema)
+    return "trace.schema: expected " + std::string(kSchema) + ", got " +
+           schema->as_string();
+
+  if (const char* err = check_u64_field(trace, "threads"))
+    return field_error("trace", "threads", err);
+  const Value* scale = trace.find("scale_multiplier");
+  if (scale == nullptr || !scale->is_number() || scale->as_number() < 0)
+    return "trace.scale_multiplier: missing non-negative number";
+
+  const Value* counters = trace.find("counters");
+  if (counters == nullptr || !counters->is_object())
+    return "trace.counters: missing object field";
+  for (const auto& [name, value] : counters->as_object()) {
+    if (!value.is_integer() || value.as_number() < 0)
+      return field_error("counters", name.c_str(), "not a non-negative integer");
+  }
+
+  const Value* timers = trace.find("timers");
+  if (timers == nullptr || !timers->is_array())
+    return "trace.timers: missing array field";
+  for (const auto& t : timers->as_array()) {
+    if (!t.is_object() || t.find("name") == nullptr ||
+        !t.find("name")->is_string())
+      return "timers[]: entry missing string name";
+    for (const char* key : {"count", "total_ns", "min_ns", "max_ns"}) {
+      if (const char* err = check_u64_field(t, key))
+        return field_error("timers[]", key, err);
+    }
+    // min <= max whenever at least one span was recorded.
+    if (t.find("count")->as_uint64() > 0 &&
+        t.find("min_ns")->as_uint64() > t.find("max_ns")->as_uint64())
+      return "timers[]: min_ns > max_ns";
+  }
+
+  const Value* histograms = trace.find("histograms");
+  if (histograms == nullptr || !histograms->is_array())
+    return "trace.histograms: missing array field";
+  for (const auto& h : histograms->as_array()) {
+    if (!h.is_object() || h.find("name") == nullptr ||
+        !h.find("name")->is_string())
+      return "histograms[]: entry missing string name";
+    if (const char* err = check_u64_field(h, "count"))
+      return field_error("histograms[]", "count", err);
+    const Value* buckets = h.find("buckets");
+    if (buckets == nullptr || !buckets->is_array())
+      return "histograms[]: missing buckets array";
+    std::uint64_t bucket_total = 0;
+    std::uint64_t prev_le = 0;
+    bool first = true;
+    for (const auto& b : buckets->as_array()) {
+      if (!b.is_object()) return "histograms[].buckets[]: not an object";
+      for (const char* key : {"le", "count"}) {
+        if (const char* err = check_u64_field(b, key))
+          return field_error("histograms[].buckets[]", key, err);
+      }
+      const std::uint64_t le = b.find("le")->as_uint64();
+      if (!first && le <= prev_le)
+        return "histograms[].buckets[]: le not strictly ascending";
+      first = false;
+      prev_le = le;
+      bucket_total += b.find("count")->as_uint64();
+    }
+    if (bucket_total != h.find("count")->as_uint64())
+      return "histograms[]: bucket counts do not sum to count";
+  }
+
+  const Value* memory = trace.find("memory");
+  if (memory == nullptr || !memory->is_object())
+    return "trace.memory: missing object field";
+  for (const char* key : {"rss_bytes", "peak_rss_bytes"}) {
+    if (const char* err = check_u64_field(*memory, key))
+      return field_error("memory", key, err);
+  }
+
+  return {};
+}
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,34 @@
+// Trace export: obs::MetricsSnapshot -> the bgpatoms-trace/1 JSON
+// document (bga_bench --trace; schema documented in EXPERIMENTS.md).
+//
+// Lives in the report layer, not in obs: obs is a leaf library every hot
+// path links, and must not depend on the JSON model. The document splits
+// along the obs determinism contract — `counters` is thread-count
+// invariant and compared bit-identically by the golden-trace tier, while
+// `timers`/`histograms`/`memory` carry scheduling- and machine-dependent
+// values checked only for shape.
+#pragma once
+
+#include <string>
+
+#include "obs/obs.h"
+#include "report/json.h"
+
+namespace bgpatoms::report {
+
+/// Run context stamped into the trace document next to the metrics.
+struct TraceMeta {
+  int threads = 0;
+  double scale_multiplier = 1.0;
+};
+
+/// Builds a bgpatoms-trace/1 document from a registry snapshot.
+json::Value trace_to_json(const obs::MetricsSnapshot& snapshot,
+                          const TraceMeta& meta);
+
+/// Structural validation of a parsed trace document. Returns an empty
+/// string when valid, else a one-line description of the first problem
+/// found (wrong schema marker, missing section, negative count, ...).
+std::string validate_trace(const json::Value& trace);
+
+}  // namespace bgpatoms::report

@@ -1,0 +1,238 @@
+// The observability layer's own contract (src/obs): counters stay exact
+// under TaskPool contention, spans nest and record inner-first, histogram
+// bucket edges sit exactly on the powers of two, snapshots come out
+// name-sorted, and a translation unit compiled with BGPATOMS_OBS_DISABLED
+// registers nothing and never evaluates macro arguments. Runs under the
+// tsan preset (`ctest -L tsan`) so the lock-free Timer/Counter paths are
+// exercised with race detection on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "obs/obs.h"
+
+static_assert(BGPATOMS_OBS_ENABLED == 1,
+              "test_obs.cpp must build with obs enabled");
+
+// From test_obs_disabled_tu.cpp (compiled with BGPATOMS_OBS_DISABLED).
+int disabled_tu_exercise();
+
+namespace bgpatoms::obs {
+namespace {
+
+TEST(Counter, ExactUnderTaskPoolContention) {
+  // Many workers hammering one counter: the relaxed fetch_add must lose
+  // nothing. 8 tasks per worker slot keeps every thread busy.
+  Counter& c = registry().counter("obs_test.contention");
+  c.reset();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kAddsPerTask = 10000;
+  core::TaskPool pool(8);
+  pool.run(kTasks, [&c](std::size_t) {
+    for (std::uint64_t i = 0; i < kAddsPerTask; ++i) {
+      c.add(1);
+      OBS_COUNT("obs_test.contention_macro");
+    }
+  });
+  EXPECT_EQ(c.value(), kTasks * kAddsPerTask);
+  EXPECT_EQ(registry().counter("obs_test.contention_macro").value(),
+            kTasks * kAddsPerTask);
+  registry().counter("obs_test.contention_macro").reset();
+}
+
+TEST(Counter, AddNAndReset) {
+  Counter& c = registry().counter("obs_test.add_n");
+  c.add(41);
+  c.add();
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // Lookup of the same name returns the same object.
+  EXPECT_EQ(&c, &registry().counter("obs_test.add_n"));
+}
+
+TEST(Timer, AggregatesCountTotalMinMax) {
+  Timer& t = registry().timer("obs_test.timer");
+  t.reset();
+  EXPECT_EQ(t.min_ns(), 0u);  // empty timer reports min 0, not UINT64_MAX
+  t.record(10);
+  t.record(2);
+  t.record(5);
+  EXPECT_EQ(t.count(), 3u);
+  EXPECT_EQ(t.total_ns(), 17u);
+  EXPECT_EQ(t.min_ns(), 2u);
+  EXPECT_EQ(t.max_ns(), 10u);
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.max_ns(), 0u);
+}
+
+TEST(Span, NestsAndRecordsInnerFirst) {
+  Timer& outer_t = registry().timer("obs_test.span_outer");
+  Timer& inner_t = registry().timer("obs_test.span_inner");
+  outer_t.reset();
+  inner_t.reset();
+
+  EXPECT_EQ(Span::active_depth(), 0);
+  {
+    Span outer(outer_t);
+    EXPECT_EQ(outer.depth(), 0);
+    EXPECT_EQ(Span::active_depth(), 1);
+    {
+      Span inner(inner_t);
+      EXPECT_EQ(inner.depth(), 1);
+      EXPECT_EQ(Span::active_depth(), 2);
+      EXPECT_EQ(inner_t.count(), 0u);  // records on destruction only
+    }
+    // Inner closed before outer: its timer is populated while the outer
+    // one still is not.
+    EXPECT_EQ(inner_t.count(), 1u);
+    EXPECT_EQ(outer_t.count(), 0u);
+    EXPECT_EQ(Span::active_depth(), 1);
+  }
+  EXPECT_EQ(outer_t.count(), 1u);
+  EXPECT_EQ(Span::active_depth(), 0);
+  // The outer scope encloses the inner one on the monotonic clock.
+  EXPECT_GE(outer_t.total_ns(), inner_t.total_ns());
+}
+
+TEST(Span, MacroFormNestsViaScopes) {
+  Timer& t = registry().timer("obs_test.span_macro");
+  t.reset();
+  {
+    OBS_SPAN("obs_test.span_macro");
+    EXPECT_EQ(Span::active_depth(), 1);
+    {
+      OBS_SPAN("obs_test.span_macro");
+      EXPECT_EQ(Span::active_depth(), 2);
+    }
+  }
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Histogram, BucketEdgesSitOnPowersOfTwo) {
+  // bucket 0 holds only the value 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index((std::uint64_t{1} << 63) - 1), 63);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), 64);
+
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper(63), (std::uint64_t{1} << 63) - 1);
+  EXPECT_EQ(Histogram::bucket_upper(64), UINT64_MAX);
+
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1024);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(11), 1u);  // 1024 = 2^10 -> [1024, 2047]
+  EXPECT_EQ(h.total_count(), 5u);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndSkipsEmptyBuckets) {
+  registry().counter("obs_test.zzz").add(1);
+  registry().counter("obs_test.aaa").add(2);
+  Histogram& h = registry().histogram("obs_test.hist");
+  h.reset();
+  h.record(0);
+  h.record(5);
+  h.record(5);
+
+  const MetricsSnapshot snap = registry().snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  for (std::size_t i = 1; i < snap.timers.size(); ++i) {
+    EXPECT_LT(snap.timers[i - 1].name, snap.timers[i].name);
+  }
+  for (const auto& hv : snap.histograms) {
+    if (hv.name != "obs_test.hist") continue;
+    // Only the two touched buckets appear: value 0 and [4,7].
+    ASSERT_EQ(hv.buckets.size(), 2u);
+    EXPECT_EQ(hv.buckets[0].upper_bound, 0u);
+    EXPECT_EQ(hv.buckets[0].count, 1u);
+    EXPECT_EQ(hv.buckets[1].upper_bound, 7u);
+    EXPECT_EQ(hv.buckets[1].count, 2u);
+    EXPECT_EQ(hv.count, 3u);
+  }
+}
+
+TEST(Registry, ResetValuesKeepsReferencesValid) {
+  Counter& c = registry().counter("obs_test.reset_ref");
+  Timer& t = registry().timer("obs_test.reset_ref");
+  c.add(7);
+  t.record(7);
+  registry().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  // Same storage after the reset: adds through the old reference land in
+  // the re-looked-up counter.
+  c.add(1);
+  EXPECT_EQ(registry().counter("obs_test.reset_ref").value(), 1u);
+}
+
+TEST(Memory, SamplerReportsResidentSetOnLinux) {
+  const MemorySample m = sample_memory();
+#ifdef __linux__
+  EXPECT_GT(m.rss_bytes, 0u);
+  EXPECT_GE(m.peak_rss_bytes, m.rss_bytes);
+#else
+  (void)m;  // zeros are the documented non-procfs behavior
+#endif
+}
+
+TEST(DisabledMode, MacrosRegisterNothingAndNeverEvaluateArguments) {
+  const std::size_t counters_before = registry().counter_count();
+  // The disabled TU exercised every OBS_* macro; its ++evaluations
+  // side effects must not have run.
+  EXPECT_EQ(disabled_tu_exercise(), 0);
+  EXPECT_EQ(registry().counter_count(), counters_before);
+  const MetricsSnapshot snap = registry().snapshot();
+  for (const auto& c : snap.counters) {
+    EXPECT_EQ(c.name.rfind("disabled_tu.", 0), std::string::npos) << c.name;
+  }
+  for (const auto& t : snap.timers) {
+    EXPECT_EQ(t.name.rfind("disabled_tu.", 0), std::string::npos) << t.name;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_EQ(h.name.rfind("disabled_tu.", 0), std::string::npos) << h.name;
+  }
+}
+
+TEST(PoolInstrumentation, CountsBatchesAndTasksDeterministically) {
+  Counter& batches = registry().counter("pool.batches");
+  Counter& tasks = registry().counter("pool.tasks");
+  const std::uint64_t batches_before = batches.value();
+  const std::uint64_t tasks_before = tasks.value();
+
+  // Same work at two thread counts: identical counter deltas (the obs
+  // determinism contract for counters).
+  for (const int threads : {1, 8}) {
+    core::TaskPool pool(threads);
+    pool.run(37, [](std::size_t) {});
+    pool.run(1, [](std::size_t) {});
+    pool.run(0, [](std::size_t) {});  // empty batch: not counted
+  }
+  EXPECT_EQ(batches.value() - batches_before, 4u);
+  EXPECT_EQ(tasks.value() - tasks_before, 2u * 38u);
+}
+
+}  // namespace
+}  // namespace bgpatoms::obs

@@ -1,0 +1,23 @@
+// Compiled into test_obs with BGPATOMS_OBS_DISABLED forced on for THIS
+// translation unit only: macro expansion is per-TU, so every OBS_* site
+// below must compile to a no-op that registers nothing and never
+// evaluates its arguments. test_obs.cpp (built with obs enabled) calls
+// disabled_tu_exercise() and then asserts the registry holds no
+// "disabled_tu." metric and that the side-effect counter stayed zero.
+#define BGPATOMS_OBS_DISABLED 1
+#include "obs/obs.h"
+
+static_assert(BGPATOMS_OBS_ENABLED == 0,
+              "per-TU disable must flip the feature macro");
+
+int disabled_tu_exercise() {
+  int evaluations = 0;
+  OBS_COUNT("disabled_tu.count");
+  OBS_COUNT_N("disabled_tu.count_n", ++evaluations);
+  OBS_SPAN("disabled_tu.span");
+  OBS_TIME_NS("disabled_tu.time", ++evaluations);
+  OBS_HISTOGRAM("disabled_tu.histogram", ++evaluations);
+  // Arguments live in an unevaluated context: none of the ++evaluations
+  // above may have run.
+  return evaluations;
+}

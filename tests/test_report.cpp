@@ -150,6 +150,55 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(report::json::Value::parse("'single'"), std::runtime_error);
 }
 
+TEST(Json, IntegersAboveTwoPow53SerializeDigitExact) {
+  // 2^53 + 1 is the first integer a double cannot represent: the old
+  // double round-trip printed 9007199254740992 for it. Counters from the
+  // obs registry flow through here, so the full u64 range must survive.
+  const std::uint64_t big = (std::uint64_t{1} << 53) + 1;
+  EXPECT_EQ(report::json::Value(big).serialize(), "9007199254740993");
+  EXPECT_EQ(report::json::Value(UINT64_MAX).serialize(),
+            "18446744073709551615");
+  EXPECT_EQ(report::json::Value(INT64_MIN).serialize(),
+            "-9223372036854775808");
+
+  const auto parsed = report::json::Value::parse("18446744073709551615");
+  ASSERT_TRUE(parsed.is_integer());
+  EXPECT_EQ(parsed.as_uint64(), UINT64_MAX);
+  EXPECT_EQ(report::json::Value::parse("9007199254740993").as_uint64(), big);
+  EXPECT_EQ(report::json::Value::parse("-7").as_int64(), -7);
+
+  // Full round trip: serialize -> parse -> equal, for values where the
+  // double path would already have drifted.
+  for (const report::json::Value v :
+       {report::json::Value(big), report::json::Value(UINT64_MAX),
+        report::json::Value(INT64_MIN)}) {
+    EXPECT_EQ(report::json::Value::parse(v.serialize()), v);
+  }
+}
+
+TEST(Json, NumericEqualityCrossesRepresentations) {
+  using report::json::Value;
+  // Same mathematical value, different alternatives.
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_EQ(Value(std::uint64_t{3}), Value(std::int64_t{3}));
+  EXPECT_EQ(Value(std::uint64_t{3}), Value(3.0));
+  // Not equal: sign mismatch, and an integer a double cannot hold.
+  EXPECT_FALSE(Value(std::int64_t{-1}) == Value(UINT64_MAX));
+  const std::uint64_t big = (std::uint64_t{1} << 53) + 1;
+  EXPECT_FALSE(Value(big) == Value(9007199254740992.0));
+  // Fractional literals still parse as doubles and round-trip.
+  const auto frac = report::json::Value::parse("0.25");
+  EXPECT_FALSE(frac.is_integer());
+  EXPECT_DOUBLE_EQ(frac.as_number(), 0.25);
+  // Integer-valued but exponent-marked literals stay on the double path.
+  EXPECT_FALSE(report::json::Value::parse("1e3").is_integer());
+  EXPECT_EQ(report::json::Value::parse("1e3"), Value(1000));
+  // Out-of-range integer literals fall back to double instead of failing.
+  const auto huge = report::json::Value::parse("99999999999999999999999999");
+  EXPECT_FALSE(huge.is_integer());
+  EXPECT_DOUBLE_EQ(huge.as_number(), 1e26);
+}
+
 // ------------------------------------------------------------------- cache
 
 TEST(CampaignCache, KeyCoversConfigFields) {

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "bgp/archive.h"
@@ -19,6 +20,7 @@
 #include "bgp/views.h"
 #include "core/analyze.h"
 #include "core/longitudinal.h"
+#include "obs/obs.h"
 
 namespace bgpatoms::core {
 namespace {
@@ -294,6 +296,40 @@ TEST(ViewEquivalence, MultiChunkUpdateStreamCorrelatesIdentically) {
   EXPECT_LT(streamed.peak_resident_records(),
             mem.peak_resident_records());
 }
+
+#if BGPATOMS_OBS_ENABLED
+TEST(ViewEquivalence, InstrumentedCountersMatchAcrossBackends) {
+  // The obs work counters are part of the backend-equivalence contract:
+  // an ArchiveView must report exactly the records/snapshots a
+  // DatasetView does — a silent double-read or skipped section shifts
+  // these even when the analysis products still come out identical.
+  const bgp::Dataset& ds = campaign().dataset();
+  const AnalysisConfig config = full_config();
+  const char* kCounters[] = {"analyze.snapshots_seen", "analyze.records_seen",
+                             "analyze.update_records_seen",
+                             "analyze.atom_sets_computed"};
+  auto& registry = obs::registry();
+
+  registry.reset_values();
+  bgp::DatasetView mem(ds);
+  analyze(mem, &mem, config);
+  std::map<std::string, std::uint64_t> want;
+  for (const char* name : kCounters) {
+    want[name] = registry.counter(name).value();
+  }
+  EXPECT_GT(want["analyze.snapshots_seen"], 0u);
+  EXPECT_GT(want["analyze.records_seen"], 0u);
+
+  TempFile file("views_counters.bga");
+  bgp::write_archive_file(ds, file.path());
+  registry.reset_values();
+  bgp::ArchiveView streamed(file.path());
+  analyze(streamed, &streamed, config);
+  for (const char* name : kCounters) {
+    EXPECT_EQ(registry.counter(name).value(), want[name]) << name;
+  }
+}
+#endif  // BGPATOMS_OBS_ENABLED
 
 // --- DatasetView basics -----------------------------------------------------
 
