@@ -30,6 +30,7 @@ void register_all_experiments(Registry& registry) {
   register_ablation_vps(registry);
   register_extra_quality(registry);
   register_perf_sweep(registry);
+  register_perf_atoms(registry);
 }
 
 }  // namespace bgpatoms::bench

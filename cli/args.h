@@ -1,9 +1,12 @@
 // Minimal command-line option parser shared by the CLI tools.
 //
 // Supports "--name value", "--name=value", "-x value" and boolean
-// "--flag"; positional arguments are collected in order. Limitation: a
-// flag followed by a bare token greedily binds it as the flag's value —
-// place positional arguments before flags (all tools here do).
+// "--flag"; positional arguments are collected in order. Tokens that
+// parse fully as numbers are never treated as option names, so negative
+// values work both as option values ("--seed -3") and as positionals.
+// Limitation: a flag followed by a bare token greedily binds it as the
+// flag's value — place positional arguments before flags (all tools here
+// do).
 #pragma once
 
 #include <cstdio>
@@ -13,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "core/env.h"
+
 namespace bgpatoms::cli {
 
 class Args {
@@ -20,7 +25,7 @@ class Args {
   Args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.empty() || arg[0] != '-' || arg == "-") {
+      if (arg.empty() || arg[0] != '-' || arg == "-" || is_number(arg)) {
         positional_.push_back(std::move(arg));
         continue;
       }
@@ -28,7 +33,8 @@ class Args {
       const auto eq = arg.find('=');
       if (eq != std::string::npos) {
         options_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      } else if (i + 1 < argc &&
+                 (argv[i + 1][0] != '-' || is_number(argv[i + 1]))) {
         options_[arg] = argv[++i];
       } else {
         options_[arg] = "";  // boolean flag
@@ -44,14 +50,23 @@ class Args {
     return it == options_.end() ? fallback : it->second;
   }
 
+  /// Strict numeric accessors: a present but malformed value ("--threads
+  /// abc", "--scale 0.5x") is a hard usage error — print a diagnostic and
+  /// exit 2 — never a silent 0 the way atof/atol behaved.
   double get_double(const std::string& name, double fallback) const {
     const auto it = options_.find(name);
-    return it == options_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == options_.end()) return fallback;
+    const auto value = core::parse_double(it->second);
+    if (!value) fail_parse(name, it->second, "a number");
+    return *value;
   }
 
   long get_int(const std::string& name, long fallback) const {
     const auto it = options_.find(name);
-    return it == options_.end() ? fallback : std::atol(it->second.c_str());
+    if (it == options_.end()) return fallback;
+    const auto value = core::parse_int(it->second);
+    if (!value) fail_parse(name, it->second, "an integer");
+    return static_cast<long>(*value);
   }
 
   const std::vector<std::string>& positional() const { return positional_; }
@@ -65,6 +80,19 @@ class Args {
   }
 
  private:
+  /// True when the whole token parses as a number ("-3", "-0.5", "2e4").
+  static bool is_number(const std::string& token) {
+    return core::parse_double(token).has_value();
+  }
+
+  [[noreturn]] static void fail_parse(const std::string& name,
+                                      const std::string& value,
+                                      const char* expected) {
+    std::fprintf(stderr, "error: --%s expects %s, got '%s' (see --help)\n",
+                 name.c_str(), expected, value.c_str());
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };

@@ -45,6 +45,10 @@ constexpr char kUsage[] =
     "                       is flag > BGPATOMS_THREADS > all hardware\n"
     "                       threads (report/options.h); results are\n"
     "                       identical for any count\n"
+    "  --kernel <k>         atom kernel: 'soa' (default, structure-of-\n"
+    "                       arrays signature matrix) or 'reference' (the\n"
+    "                       historical CSR kernel); output is bit-\n"
+    "                       identical either way\n"
     "  --metrics            print instrumentation counters/timers to\n"
     "                       stderr on exit\n";
 
@@ -142,6 +146,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+
+  const std::string kernel = args.get("kernel", "soa");
+  if (kernel != "soa" && kernel != "reference") {
+    std::fprintf(stderr, "error: --kernel expects 'soa' or 'reference', "
+                 "got '%s'\n", kernel.c_str());
+    return 2;
+  }
+  config.atoms.use_reference_kernel = kernel == "reference";
 
   const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
   config.reference_snapshot = index;

@@ -14,11 +14,15 @@ SanitizedSnapshot sanitize_traced(bgp::SnapshotView& view,
   return sanitize(view, snap, config);
 }
 
-/// compute_atoms() under its per-stage span.
+/// compute_atoms() under its per-stage span. Atom counts are work items
+/// (a pure function of the snapshot), so counting them keeps the
+/// backend-equivalence and thread-determinism contracts intact.
 AtomSet atoms_traced(const SanitizedSnapshot& san, const AtomOptions& options) {
   OBS_SPAN("analyze.atoms");
   OBS_COUNT("analyze.atom_sets_computed");
-  return compute_atoms(san, options);
+  AtomSet atoms = compute_atoms(san, options);
+  OBS_COUNT_N("analyze.atoms_produced", atoms.atoms.size());
+  return atoms;
 }
 
 /// stability() under its per-stage span.

@@ -5,13 +5,18 @@
 // path" there, so two prefixes belong to one atom only if their visibility
 // sets agree too (Afek et al.'s convention, kept by the paper).
 //
-// Implementation: each prefix accumulates a signature — the sorted list of
-// (vp, interned-path-id) pairs over the sanitized tables — and prefixes
-// group by signature equality (hash-bucketed, equality-verified).
+// Implementation: each prefix's signature is one row of a dense
+// structure-of-arrays matrix (num_prefixes x num_VPs of 32-bit cells, see
+// AtomSignatureMatrix); rows are hashed with a vectorizable lane mixer and
+// prefixes group by row equality (hash-sharded, equality-verified). The
+// original CSR-of-packed-entries kernel survives as
+// compute_atoms_reference(), the correctness oracle the SoA kernel is
+// tested bit-identical against.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +24,8 @@
 #include "net/asn.h"
 
 namespace bgpatoms::core {
+
+class TaskPool;
 
 struct AtomOptions {
   /// Method (i) of §3.4.2: collapse AS-path prepending *before* grouping.
@@ -30,6 +37,66 @@ struct AtomOptions {
   /// run_campaign() pins this to 1 because sweeps are already parallel at
   /// the job level. The result is bit-identical for any value.
   int threads = 0;
+  /// Route through the historical CSR kernel (compute_atoms_reference)
+  /// instead of the SoA matrix kernel. Output is bit-identical either
+  /// way; the flag exists for A/B verification and perf comparison.
+  bool use_reference_kernel = false;
+};
+
+/// Throws std::runtime_error when a snapshot exceeds the 32-bit packing
+/// limits both kernels rely on: VP indices and matrix cells (path id + 1)
+/// must fit 32 bits. A plain assert here would compile out under NDEBUG
+/// and silently wrap; every kernel entry point calls this instead.
+void check_packing_limits(std::size_t vp_count, std::size_t path_count);
+
+/// Dense structure-of-arrays signature matrix: one row per retained
+/// prefix (snapshot.prefixes order), one 32-bit cell per vantage point.
+/// A cell stores interned-path-id + 1 so that 0 (`kAbsent`) means "this
+/// VP does not see the prefix" — the paper's empty-path convention —
+/// while keeping a route whose path *is* the interned empty path (id 0)
+/// distinguishable from absence, exactly as the CSR signatures did.
+///
+/// Rows are contiguous, so row hashing is a linear scan and equality is
+/// one memcmp; columns have fixed stride, so the planned incremental
+/// maintenance (ROADMAP item 2) can rehash a single VP's column in
+/// isolation. Filling parallelizes across VPs: each VP writes its own
+/// column, which makes the fill race-free without locks.
+class AtomSignatureMatrix {
+ public:
+  static constexpr std::uint32_t kAbsent = 0;
+
+  /// Builds the matrix for `snapshot`. When
+  /// `options.strip_prepends_before_grouping` is set, paths are rewritten
+  /// through stripped_pool() (interned in first-encounter order, matching
+  /// the reference kernel's pool bit-for-bit). `pool` parallelizes the
+  /// column fill when provided; the result is identical with or without.
+  static AtomSignatureMatrix build(const SanitizedSnapshot& snapshot,
+                                   const AtomOptions& options = {},
+                                   TaskPool* pool = nullptr);
+
+  std::size_t num_prefixes() const { return num_prefixes_; }
+  std::size_t num_vps() const { return num_vps_; }
+
+  /// Row of prefix index `i` (snapshot.prefixes order): one cell per VP.
+  std::span<const std::uint32_t> row(std::size_t i) const {
+    return {cells_.data() + i * num_vps_, num_vps_};
+  }
+  std::uint32_t cell(std::size_t prefix_index, std::size_t vp) const {
+    return cells_[prefix_index * num_vps_ + vp];
+  }
+  /// Path id encoded in a non-absent cell.
+  static bgp::PathId path_of(std::uint32_t cell) { return cell - 1; }
+
+  /// The method-(i) rewrite pool; null unless the build stripped prepends.
+  const std::shared_ptr<net::PathPool>& stripped_pool() const {
+    return stripped_pool_;
+  }
+
+ private:
+  std::vector<std::uint32_t> cells_;
+  std::size_t num_prefixes_ = 0;
+  std::size_t num_vps_ = 0;
+  std::shared_ptr<net::PathPool> stripped_pool_;
 };
 
 struct Atom {
@@ -72,8 +139,15 @@ struct AtomSet {
   }
 };
 
-/// Groups the snapshot's prefixes into policy atoms.
+/// Groups the snapshot's prefixes into policy atoms (SoA matrix kernel;
+/// honors options.use_reference_kernel).
 AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
                       const AtomOptions& options = {});
+
+/// The historical CSR-of-packed-entries kernel, kept as the correctness
+/// oracle: bit-identical output to compute_atoms() for every input and
+/// thread count (pinned by tests/test_atoms_kernel.cpp).
+AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
+                                const AtomOptions& options = {});
 
 }  // namespace bgpatoms::core

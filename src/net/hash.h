@@ -53,4 +53,41 @@ std::uint64_t hash_span(std::span<const T> s, std::uint64_t seed = 0) {
                  seed ^ 0xcbf29ce484222325ULL);
 }
 
+/// Hash a row of 32-bit lanes: four independent xor-multiply accumulator
+/// chains over strided lanes, folded through mix64 at the end. Unlike
+/// fnv1a64 (one byte per loop-carried multiply), each chain consumes a
+/// full lane per step and the four chains have no cross-dependency, so
+/// the compiler can keep them in parallel (ILP/SIMD) — the loop body is
+/// plain integer xor/add/multiply with no branches or rotates. Stable
+/// across platforms and runs; order- and length-dependent.
+inline std::uint64_t hash_row32(const std::uint32_t* p, std::size_t n,
+                                std::uint64_t seed = 0) {
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  constexpr std::uint64_t kMul = 0xff51afd7ed558ccdULL;
+  std::uint64_t h0 = seed ^ 0x9e3779b185ebca87ULL;
+  std::uint64_t h1 = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  std::uint64_t h2 = seed ^ 0x165667b19e3779f9ULL;
+  std::uint64_t h3 = seed ^ 0x27d4eb2f165667c5ULL;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    h0 = (h0 ^ (p[i + 0] + kGamma)) * kMul;
+    h1 = (h1 ^ (p[i + 1] + kGamma)) * kMul;
+    h2 = (h2 ^ (p[i + 2] + kGamma)) * kMul;
+    h3 = (h3 ^ (p[i + 3] + kGamma)) * kMul;
+  }
+  for (; i < n; ++i) {
+    h0 = (h0 ^ (p[i] + kGamma)) * kMul;
+  }
+  std::uint64_t h = mix64(h0) + n;
+  h = hash_combine(h, h1);
+  h = hash_combine(h, h2);
+  h = hash_combine(h, h3);
+  return mix64(h);
+}
+
+inline std::uint64_t hash_row32(std::span<const std::uint32_t> s,
+                                std::uint64_t seed = 0) {
+  return hash_row32(s.data(), s.size(), seed);
+}
+
 }  // namespace bgpatoms

@@ -1,0 +1,226 @@
+// SoA-vs-reference kernel equivalence and AtomSignatureMatrix unit tests.
+//
+// compute_atoms() (SoA matrix kernel) must reproduce
+// compute_atoms_reference() (the historical CSR kernel) field-for-field —
+// atom order, member order, per-VP paths, origin/MOAS flags, indexes and
+// the method-(i) rewrite pool — for every snapshot shape and any thread
+// count. These tests pin that contract on the edge cases the rewrite must
+// preserve.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/atoms.h"
+#include "testutil.h"
+
+namespace bgpatoms::core {
+namespace {
+
+using test::DatasetBuilder;
+
+/// Full structural equality between two atom sets (operator== on Atom
+/// covers prefixes/paths/origin/moas; the indexes are checked on top).
+void expect_identical(const AtomSet& a, const AtomSet& b) {
+  ASSERT_EQ(a.atoms.size(), b.atoms.size());
+  EXPECT_EQ(a.atoms, b.atoms);
+  EXPECT_EQ(a.atom_of, b.atom_of);
+  EXPECT_EQ(a.atoms_by_origin, b.atoms_by_origin);
+  ASSERT_EQ(a.own_pool != nullptr, b.own_pool != nullptr);
+  if (a.own_pool) {
+    // The method-(i) rewrite pools must intern in the same order.
+    ASSERT_EQ(a.own_pool->size(), b.own_pool->size());
+    for (std::size_t i = 0; i < a.own_pool->size(); ++i) {
+      EXPECT_EQ(a.own_pool->get(static_cast<bgp::PathId>(i)),
+                b.own_pool->get(static_cast<bgp::PathId>(i)));
+    }
+  }
+}
+
+/// Runs both kernels over `snap` at thread counts {1, 2, 8} and asserts
+/// every pairing is identical.
+void expect_kernels_agree(const SanitizedSnapshot& snap,
+                          bool strip_prepends = false) {
+  AtomOptions base;
+  base.strip_prepends_before_grouping = strip_prepends;
+
+  AtomOptions ref = base;
+  ref.threads = 1;
+  const AtomSet oracle = compute_atoms_reference(snap, ref);
+
+  for (int threads : {1, 2, 8}) {
+    AtomOptions opt = base;
+    opt.threads = threads;
+    expect_identical(compute_atoms(snap, opt), oracle);
+    opt.use_reference_kernel = true;
+    expect_identical(compute_atoms(snap, opt), oracle);
+  }
+}
+
+TEST(AtomsKernel, EmptySnapshot) {
+  DatasetBuilder b;
+  b.peer(100);
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  expect_kernels_agree(snap);
+  EXPECT_TRUE(compute_atoms(snap).atoms.empty());
+}
+
+TEST(AtomsKernel, SinglePrefix) {
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1");
+  b.peer(200).route("10.0.0.0/16", "200 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  expect_kernels_agree(snap);
+  const auto atoms = compute_atoms(snap);
+  ASSERT_EQ(atoms.atoms.size(), 1u);
+  EXPECT_EQ(atoms.atoms[0].paths.size(), 2u);
+}
+
+TEST(AtomsKernel, AllIdenticalSignatures) {
+  // Every prefix shares one signature: a single atom holding all of them.
+  DatasetBuilder b;
+  for (int vp = 0; vp < 3; ++vp) {
+    b.peer(100 + vp);
+    for (int i = 0; i < 50; ++i) {
+      b.route("10." + std::to_string(i) + ".0.0/16",
+              std::to_string(100 + vp) + " 7 1");
+    }
+  }
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  expect_kernels_agree(snap);
+  const auto atoms = compute_atoms(snap);
+  ASSERT_EQ(atoms.atoms.size(), 1u);
+  EXPECT_EQ(atoms.atoms[0].size(), 50u);
+}
+
+TEST(AtomsKernel, AbsencePatternsSplit) {
+  // Visibility differences (the empty-path convention) must group the
+  // same way through the dense matrix's absence sentinel.
+  DatasetBuilder b;
+  b.peer(100)
+      .route("10.0.0.0/16", "100 1")
+      .route("10.1.0.0/16", "100 1")
+      .route("10.2.0.0/16", "100 1");
+  b.peer(200).route("10.0.0.0/16", "200 1").route("10.2.0.0/16", "200 1");
+  b.peer(300).route("10.2.0.0/16", "300 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  expect_kernels_agree(snap);
+  EXPECT_EQ(compute_atoms(snap).atoms.size(), 3u);
+}
+
+TEST(AtomsKernel, StripPrependsBeforeGrouping) {
+  DatasetBuilder b;
+  b.peer(100)
+      .route("10.0.0.0/16", "100 1")
+      .route("10.1.0.0/16", "100 1 1")
+      .route("10.2.0.0/16", "100 2 2 1")
+      .route("10.3.0.0/16", "100 2 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  expect_kernels_agree(snap, /*strip_prepends=*/true);
+  AtomOptions options;
+  options.strip_prepends_before_grouping = true;
+  const auto atoms = compute_atoms(snap, options);
+  EXPECT_EQ(atoms.atoms.size(), 2u);  // {10.0, 10.1} and {10.2, 10.3}
+  ASSERT_TRUE(atoms.own_pool != nullptr);
+}
+
+TEST(AtomsKernel, LargeSnapshotAboveParallelGate) {
+  // Enough prefixes to cross the 4096-prefix parallel gate so the
+  // sharded paths of both kernels actually run multi-threaded.
+  DatasetBuilder b;
+  constexpr int kPrefixes = 5000;
+  for (int vp = 0; vp < 3; ++vp) {
+    b.peer(100 + vp);
+    for (int i = 0; i < kPrefixes; ++i) {
+      // 23 signature classes, plus per-VP visibility gaps every 11th
+      // prefix, and prepending on one class.
+      if (vp == 1 && i % 11 == 0) continue;
+      std::string path = std::to_string(100 + vp) + " " +
+                         std::to_string(7 + i % 23) + " 1";
+      if (i % 23 == 3) path += " 1";
+      b.route("10." + std::to_string(i / 250) + "." +
+                  std::to_string(i % 250) + ".0/24",
+              path);
+    }
+  }
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  ASSERT_GE(snap.prefixes.size(), 4096u);
+  expect_kernels_agree(snap);
+  expect_kernels_agree(snap, /*strip_prepends=*/true);
+}
+
+TEST(AtomsKernel, UseReferenceKernelOptionDispatches) {
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 2");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  AtomOptions opt;
+  opt.use_reference_kernel = true;
+  expect_identical(compute_atoms(snap, opt), compute_atoms_reference(snap));
+}
+
+// ------------------------------------------------------ signature matrix
+
+TEST(AtomSignatureMatrixTest, DimensionsAndCells) {
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 2 1");
+  b.peer(200).route("10.0.0.0/16", "200 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  const auto m = AtomSignatureMatrix::build(snap);
+
+  ASSERT_EQ(m.num_prefixes(), 2u);
+  ASSERT_EQ(m.num_vps(), 2u);
+  EXPECT_EQ(m.stripped_pool(), nullptr);
+
+  // Row i follows snapshot.prefixes order; cells follow VP order.
+  for (std::size_t p = 0; p < m.num_prefixes(); ++p) {
+    const auto row = m.row(p);
+    ASSERT_EQ(row.size(), m.num_vps());
+    for (std::size_t vp = 0; vp < m.num_vps(); ++vp) {
+      const bgp::PathId expected =
+          snap.vps[vp].path_for(snap.prefixes[p]);
+      if (expected == net::PathPool::kEmptyPathId &&
+          row[vp] == AtomSignatureMatrix::kAbsent) {
+        continue;  // absent route: sentinel cell
+      }
+      ASSERT_NE(row[vp], AtomSignatureMatrix::kAbsent);
+      EXPECT_EQ(AtomSignatureMatrix::path_of(row[vp]), expected);
+      EXPECT_EQ(m.cell(p, vp), row[vp]);
+    }
+  }
+  // 10.1/16 is absent at VP 1 — the one sentinel cell in this snapshot.
+  EXPECT_EQ(m.cell(1, 1), AtomSignatureMatrix::kAbsent);
+}
+
+TEST(AtomSignatureMatrixTest, StripPrependsOwnsRewritePool) {
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1").route("10.1.0.0/16", "100 1 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  AtomOptions options;
+  options.strip_prepends_before_grouping = true;
+  const auto m = AtomSignatureMatrix::build(snap, options);
+  ASSERT_TRUE(m.stripped_pool() != nullptr);
+  // Both routes collapse to the same stripped path: identical cells.
+  EXPECT_EQ(m.cell(0, 0), m.cell(1, 0));
+  const auto id = AtomSignatureMatrix::path_of(m.cell(0, 0));
+  EXPECT_EQ(m.stripped_pool()->get(id).to_string(), "100 1");
+}
+
+// ------------------------------------------------------- packing limits
+
+TEST(AtomsKernel, PackingLimitGuardThrows) {
+  // The VP-id / cell encodings are 32-bit; the guard must be a thrown
+  // error, not an assert that compiles out under NDEBUG. Snapshots of
+  // that size cannot be materialized in a test, so the guard is exposed
+  // and exercised directly.
+  EXPECT_NO_THROW(check_packing_limits(0, 0));
+  EXPECT_NO_THROW(check_packing_limits(UINT32_MAX, UINT32_MAX));
+  if constexpr (sizeof(std::size_t) > 4) {
+    const auto over = static_cast<std::size_t>(UINT32_MAX) + 1;
+    EXPECT_THROW(check_packing_limits(over, 0), std::runtime_error);
+    EXPECT_THROW(check_packing_limits(0, over), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace bgpatoms::core

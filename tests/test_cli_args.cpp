@@ -67,5 +67,68 @@ TEST(Args, FlagFollowedByOption) {
   EXPECT_EQ(args.get("collector"), "rrc00");
 }
 
+TEST(Args, NegativeIntegerValue) {
+  // Regression: "--seed -3" used to bind seed as a boolean flag because
+  // any following token starting with '-' was rejected as a value.
+  const auto args = parse({"--seed", "-3"});
+  EXPECT_EQ(args.get_int("seed", 0), -3);
+  EXPECT_EQ(args.get("seed"), "-3");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Args, NegativeDoubleValue) {
+  const auto args = parse({"--offset", "-0.5", "--year", "-2e3"});
+  EXPECT_DOUBLE_EQ(args.get_double("offset", 0), -0.5);
+  EXPECT_DOUBLE_EQ(args.get_double("year", 0), -2000.0);
+}
+
+TEST(Args, NegativeNumberAsPositional) {
+  // A bare numeric token is never an option name, even with a leading '-'.
+  const auto args = parse({"-3", "input.bga"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "-3");
+  EXPECT_EQ(args.positional()[1], "input.bga");
+}
+
+TEST(Args, NegativeValueViaEquals) {
+  const auto args = parse({"--seed=-7"});
+  EXPECT_EQ(args.get_int("seed", 0), -7);
+}
+
+TEST(Args, NonNumericDashTokenStaysAnOption) {
+  // "-o out" must keep working: "-o" does not parse as a number.
+  const auto args = parse({"-o", "out.bga", "--flag", "-x"});
+  EXPECT_EQ(args.get("o"), "out.bga");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_TRUE(args.has("x"));
+}
+
+TEST(ArgsDeathTest, MalformedIntExitsWithUsageError) {
+  // atol("abc") silently returned 0; strict parsing must hard-error.
+  const auto args = parse({"--threads", "abc"});
+  EXPECT_EXIT(args.get_int("threads", 0), ::testing::ExitedWithCode(2),
+              "--threads expects an integer, got 'abc'");
+}
+
+TEST(ArgsDeathTest, TrailingGarbageIntExits) {
+  const auto args = parse({"--seed", "12x"});
+  EXPECT_EXIT(args.get_int("seed", 0), ::testing::ExitedWithCode(2),
+              "--seed expects an integer");
+}
+
+TEST(ArgsDeathTest, MalformedDoubleExits) {
+  const auto args = parse({"--scale", "0.5abc"});
+  EXPECT_EXIT(args.get_double("scale", 1.0), ::testing::ExitedWithCode(2),
+              "--scale expects a number");
+}
+
+TEST(ArgsDeathTest, MissingValueIsMalformedNotZero) {
+  // A flag used where a numeric option was meant ("--snapshot" with no
+  // value) errors instead of silently parsing the empty string as 0.
+  const auto args = parse({"--snapshot"});
+  EXPECT_EXIT(args.get_int("snapshot", 0), ::testing::ExitedWithCode(2),
+              "--snapshot expects an integer");
+}
+
 }  // namespace
 }  // namespace bgpatoms::cli

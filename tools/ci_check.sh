@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-command CI gate: the default build with the full test suite, then
+# the sanitizer presets over their labeled smoke subsets (see
+# CMakePresets.json and tests/CMakeLists.txt for the label wiring).
+#
+#   tools/ci_check.sh             # default + asan + tsan
+#   tools/ci_check.sh default     # any subset of: default asan tsan
+#
+# Run from the repository root. Each stage is incremental: configure is
+# skipped when the preset's build directory already has a cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(default asan tsan)
+fi
+
+configure() { # <preset> <builddir>
+  if [ ! -f "$2/CMakeCache.txt" ]; then
+    cmake --preset "$1"
+  fi
+}
+
+for stage in "${STAGES[@]}"; do
+  echo "==> ci_check: ${stage}"
+  case "${stage}" in
+    default)
+      configure default build
+      cmake --build --preset default -j "${JOBS}"
+      ctest --test-dir build --output-on-failure -j "${JOBS}"
+      ;;
+    asan)
+      configure asan build-asan
+      cmake --build --preset asan -j "${JOBS}"
+      ctest --test-dir build-asan -L asan_smoke --output-on-failure -j "${JOBS}"
+      ;;
+    tsan)
+      configure tsan build-tsan
+      cmake --build --preset tsan -j "${JOBS}"
+      ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
+      ;;
+    *)
+      echo "ci_check: unknown stage '${stage}' (expected: default asan tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "==> ci_check: all stages passed (${STAGES[*]})"
