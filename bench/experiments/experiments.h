@@ -38,6 +38,7 @@ void register_ablation_vps(Registry& registry);
 void register_extra_quality(Registry& registry);
 void register_perf_sweep(Registry& registry);
 void register_perf_atoms(Registry& registry);
+void register_perf_incremental(Registry& registry);
 
 /// Registers every experiment above, in paper order (tables, figures,
 /// reproduction, ablations, extras, perf).

@@ -31,6 +31,7 @@ void register_all_experiments(Registry& registry) {
   register_extra_quality(registry);
   register_perf_sweep(registry);
   register_perf_atoms(registry);
+  register_perf_incremental(registry);
 }
 
 }  // namespace bgpatoms::bench

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -61,11 +62,21 @@ class Args {
     return *value;
   }
 
-  long get_int(const std::string& name, long fallback) const {
+  /// `min_value`/`max_value` bound the accepted range: an in-range check
+  /// at the parse boundary, so callers can narrow (static_cast<int>,
+  /// uint32) without silent wrapping. Out-of-range is a usage error
+  /// (exit 2), same policy as a malformed value.
+  long get_int(const std::string& name, long fallback,
+               long min_value = std::numeric_limits<long>::min(),
+               long max_value = std::numeric_limits<long>::max()) const {
     const auto it = options_.find(name);
     if (it == options_.end()) return fallback;
     const auto value = core::parse_int(it->second);
     if (!value) fail_parse(name, it->second, "an integer");
+    if (*value < static_cast<long long>(min_value) ||
+        *value > static_cast<long long>(max_value)) {
+      fail_range(name, it->second, min_value, max_value);
+    }
     return static_cast<long>(*value);
   }
 
@@ -90,6 +101,16 @@ class Args {
                                       const char* expected) {
     std::fprintf(stderr, "error: --%s expects %s, got '%s' (see --help)\n",
                  name.c_str(), expected, value.c_str());
+    std::exit(2);
+  }
+
+  [[noreturn]] static void fail_range(const std::string& name,
+                                      const std::string& value, long lo,
+                                      long hi) {
+    std::fprintf(stderr,
+                 "error: --%s expects an integer in [%ld, %ld], got '%s' "
+                 "(see --help)\n",
+                 name.c_str(), lo, hi, value.c_str());
     std::exit(2);
   }
 

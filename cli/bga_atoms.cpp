@@ -11,13 +11,16 @@
 // bgp::ArchiveView into core::analyze(), so a v2 archive is processed
 // with at most one snapshot section plus one update chunk resident —
 // peak memory is bounded by the largest section, not the file.
+#include <climits>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bgp/archive_view.h"
 #include "bgp/io.h"
 #include "cli/args.h"
+#include "cli/trend.h"
 #include "core/analyze.h"
 #include "core/formation.h"
 #include "core/stability.h"
@@ -37,7 +40,11 @@ constexpr char kUsage[] =
     "  --stability          compare the reference snapshot against each\n"
     "                       later snapshot\n"
     "  --trend              one summary row per archive (longitudinal\n"
-    "                       runs over multiple campaign files)\n"
+    "                       runs over multiple campaign files); each\n"
+    "                       archive's update stream is followed through\n"
+    "                       the incrementally maintained partition\n"
+    "                       (O(changes) per stream) and a failing archive\n"
+    "                       is reported and skipped, not fatal\n"
     "  --min-peers <n>      visibility threshold, peer ASes (default 4)\n"
     "  --min-collectors <n> visibility threshold, collectors (default 2)\n"
     "  --no-filter          disable prefix filtering (2002-style)\n"
@@ -81,42 +88,6 @@ void write_csv(const std::string& path, const core::SanitizedSnapshot& snap,
   std::fclose(f);
 }
 
-/// One summary row per archive: the longitudinal mode. Each archive is a
-/// full streamed analysis pass with only the reference products resident.
-int run_trend(const std::vector<std::string>& paths,
-              const core::AnalysisConfig& base) {
-  std::printf("%-28s %9s %9s %8s %8s %6s %8s %8s\n", "archive", "prefixes",
-              "atoms", "ases", "mean", "snaps", "cam_last", "mpm_last");
-  for (const auto& path : paths) {
-    core::AnalysisConfig config = base;
-    config.keep_all = false;
-    core::AnalysisResult r;
-    try {
-      bgp::ArchiveView view(path);
-      r = core::analyze(view, &view, config);
-    } catch (const bgp::ArchiveError& e) {
-      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
-      return 1;
-    }
-    if (!r.has_reference()) {
-      std::fprintf(stderr, "error: %s: archive has %zu snapshot(s)\n",
-                   path.c_str(), r.snapshots_seen);
-      return 1;
-    }
-    char cam[16] = "-", mpm[16] = "-";
-    if (!r.stability.empty()) {
-      std::snprintf(cam, sizeof cam, "%.1f%%",
-                    100 * r.stability.back().result.cam);
-      std::snprintf(mpm, sizeof mpm, "%.1f%%",
-                    100 * r.stability.back().result.mpm);
-    }
-    std::printf("%-28s %9zu %9zu %8zu %8.2f %6zu %8s %8s\n", path.c_str(),
-                r.stats.prefixes, r.stats.atoms, r.stats.ases,
-                r.stats.mean_atom_size, r.snapshots_seen, cam, mpm);
-  }
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,10 +96,12 @@ int main(int argc, char** argv) {
   const MetricsAtExit metrics{args.has("metrics")};
 
   core::AnalysisConfig config;
+  // The range bounds make the int narrowing below safe: out-of-range
+  // values are a usage error at the parse boundary, not a silent wrap.
   config.sanitize.min_peer_ases =
-      static_cast<int>(args.get_int("min-peers", 4));
+      static_cast<int>(args.get_int("min-peers", 4, 0, INT_MAX));
   config.sanitize.min_collectors =
-      static_cast<int>(args.get_int("min-collectors", 2));
+      static_cast<int>(args.get_int("min-collectors", 2, 0, INT_MAX));
   if (args.has("no-filter")) {
     config.sanitize.filter_prefixes = false;
     config.sanitize.max_prefix_length = 128;
@@ -155,12 +128,27 @@ int main(int argc, char** argv) {
   }
   config.atoms.use_reference_kernel = kernel == "reference";
 
-  const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
+  const auto index = static_cast<std::size_t>(
+      args.get_int("snapshot", 0, 0, std::numeric_limits<long>::max()));
   config.reference_snapshot = index;
   config.with_stability = args.has("stability");
 
   if (args.has("trend")) {
-    return run_trend(args.positional(), config);
+    // Longitudinal mode: stream each archive with only the reference
+    // products resident, and follow its update stream through the
+    // incrementally maintained partition (core::IncrementalAtoms) —
+    // O(changes) per stream instead of a recompute per boundary.
+    core::AnalysisConfig trend_config = config;
+    trend_config.keep_all = false;
+    trend_config.with_updates = true;
+    trend_config.incremental = true;
+    return cli::run_trend(
+        args.positional(),
+        [&](const std::string& path) {
+          bgp::ArchiveView view(path);
+          return core::analyze(view, &view, trend_config);
+        },
+        stdout, stderr);
   }
 
   // Single-archive mode: stream the file through one analysis pass; only

@@ -132,7 +132,9 @@ int main(int argc, char** argv) {
       stream::Filters filters;
       if (args.has("collector")) filters.collector = args.get("collector");
       if (args.has("peer-asn")) {
-        filters.peer_asn = static_cast<net::Asn>(args.get_int("peer-asn", 0));
+        // Bounds make the 32-bit narrowing safe (ASNs are unsigned).
+        filters.peer_asn = static_cast<net::Asn>(
+            args.get_int("peer-asn", 0, 0, UINT32_MAX));
       }
       if (args.has("prefix")) {
         const auto p = net::Prefix::parse(args.get("prefix"));

@@ -8,6 +8,7 @@
 // --to-bga imports any uncompressed MRT stream (RouteViews / RIS RIB and
 // update files included) into a BGA archive ready for bga_atoms.
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "bgp/archive.h"
@@ -59,7 +60,9 @@ int to_mrt(const cli::Args& args, const std::vector<std::string>& files) {
       return 1;
     }
   }
-  const auto index = static_cast<std::size_t>(args.get_int("snapshot", 0));
+  // Non-negative bound makes the size_t narrowing safe.
+  const auto index = static_cast<std::size_t>(
+      args.get_int("snapshot", 0, 0, std::numeric_limits<long>::max()));
   const bool with_updates = args.has("updates");
 
   std::FILE* f = std::fopen(files[1].c_str(), "wb");

@@ -1,0 +1,74 @@
+// The bga_atoms --trend loop, factored out of the binary so the batch
+// error-handling contract is unit-testable: one failing archive must not
+// take down the rest of the batch.
+//
+// Any std::exception from one archive's analysis (bgp::ArchiveError, the
+// packing-limit std::runtime_error from core::check_packing_limits, ...)
+// is reported on `err` with the failing path and the loop continues with
+// the remaining archives; the exit status is non-zero iff any archive
+// failed. tests/test_incremental.cpp injects failures through
+// `analyze_archive` to pin this.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyze.h"
+
+namespace bgpatoms::cli {
+
+/// One summary row per archive on `out`. `analyze_archive` maps a path to
+/// its streamed analysis result (the binary passes an ArchiveView lambda;
+/// tests inject results or throws). When the analysis maintained the atom
+/// partition through the archive's update stream
+/// (core::AnalysisConfig::incremental), the live-drift columns report the
+/// post-stream atom count and CAM against the reference snapshot.
+inline int run_trend(
+    const std::vector<std::string>& paths,
+    const std::function<core::AnalysisResult(const std::string&)>&
+        analyze_archive,
+    std::FILE* out, std::FILE* err) {
+  std::fprintf(out, "%-28s %9s %9s %8s %8s %6s %8s %8s %9s %8s\n", "archive",
+               "prefixes", "atoms", "ases", "mean", "snaps", "cam_last",
+               "mpm_last", "atoms_liv", "cam_live");
+  int failures = 0;
+  for (const auto& path : paths) {
+    core::AnalysisResult r;
+    try {
+      r = analyze_archive(path);
+    } catch (const std::exception& e) {
+      std::fprintf(err, "error: %s: %s\n", path.c_str(), e.what());
+      ++failures;
+      continue;
+    }
+    if (!r.has_reference()) {
+      std::fprintf(err, "error: %s: archive has %zu snapshot(s)\n",
+                   path.c_str(), r.snapshots_seen);
+      ++failures;
+      continue;
+    }
+    char cam[16] = "-", mpm[16] = "-";
+    if (!r.stability.empty()) {
+      std::snprintf(cam, sizeof cam, "%.1f%%",
+                    100 * r.stability.back().result.cam);
+      std::snprintf(mpm, sizeof mpm, "%.1f%%",
+                    100 * r.stability.back().result.mpm);
+    }
+    char live_atoms[24] = "-", live_cam[16] = "-";
+    if (r.live) {
+      std::snprintf(live_atoms, sizeof live_atoms, "%zu", r.live->atoms);
+      std::snprintf(live_cam, sizeof live_cam, "%.1f%%",
+                    100 * r.live->vs_reference.cam);
+    }
+    std::fprintf(out, "%-28s %9zu %9zu %8zu %8.2f %6zu %8s %8s %9s %8s\n",
+                 path.c_str(), r.stats.prefixes, r.stats.atoms, r.stats.ases,
+                 r.stats.mean_atom_size, r.snapshots_seen, cam, mpm,
+                 live_atoms, live_cam);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace bgpatoms::cli

@@ -21,6 +21,7 @@
 // must not outlive the view they were derived from.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -88,23 +89,38 @@ class DatasetView final : public SnapshotView, public UpdateStreamView {
   }
 
   std::span<const UpdateRecord> next_chunk() override {
-    if (updates_served_) return {};
-    updates_served_ = true;
-    return {ds_->updates.data(), ds_->updates.size()};
+    const std::size_t total = ds_->updates.size();
+    if (update_cursor_ >= total) return {};
+    const std::size_t n = chunk_size_ == 0
+                              ? total - update_cursor_
+                              : std::min(chunk_size_, total - update_cursor_);
+    const std::span<const UpdateRecord> chunk{
+        ds_->updates.data() + update_cursor_, n};
+    update_cursor_ += n;
+    return chunk;
   }
+
+  /// Serves updates in chunks of at most `n` records (0 = the whole
+  /// stream in one span, the default). Everything is resident either
+  /// way; the knob exists so tests can exercise the chunk-boundary logic
+  /// of update-consuming kernels (UpdateCorrelator, IncrementalAtoms)
+  /// that a streamed ArchiveView would hit — results must be identical
+  /// for every chunking.
+  void set_chunk_size(std::size_t n) { chunk_size_ = n; }
 
   std::size_t peak_resident_records() const override;
 
   /// Restarts both cursors (an in-memory view is rewindable for free).
   void rewind() {
     cursor_ = 0;
-    updates_served_ = false;
+    update_cursor_ = 0;
   }
 
  private:
   const Dataset* ds_;
   std::size_t cursor_ = 0;
-  bool updates_served_ = false;
+  std::size_t update_cursor_ = 0;
+  std::size_t chunk_size_ = 0;
 };
 
 /// UpdateStreamView over a caller-owned record span (tests, replaying a

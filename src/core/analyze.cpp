@@ -136,8 +136,30 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
     }
     if (config.with_updates && updates != nullptr) {
       OBS_SPAN("analyze.update_corr");
-      out.correlation = correlate_updates(out.reference_atoms(), *updates,
-                                          config.update_max_k);
+      // One drain of the update cursor feeds both consumers, chunk by
+      // chunk. Without `incremental` this loop is exactly the streamed
+      // correlate_updates() overload, so the correlation output (and the
+      // backend work counters) are unchanged.
+      UpdateCorrelator corr(out.reference_atoms(), config.update_max_k);
+      std::optional<IncrementalAtoms> inc;
+      if (config.incremental) {
+        inc.emplace(out.reference(), snapshots.paths(), config.atoms);
+      }
+      for (auto chunk = updates->next_chunk(); !chunk.empty();
+           chunk = updates->next_chunk()) {
+        corr.feed(chunk);
+        if (inc) inc->apply(chunk);
+      }
+      out.correlation = corr.result();
+      if (inc) {
+        LiveUpdateDrift drift;
+        const AtomSet live_atoms = inc->atoms();
+        drift.atoms = live_atoms.atoms.size();
+        drift.vs_reference =
+            stability_traced(out.reference_atoms(), live_atoms);
+        drift.counters = inc->counters();
+        out.live = drift;
+      }
     }
   }
   return out;

@@ -25,6 +25,7 @@
 
 #include "bgp/views.h"
 #include "core/atoms.h"
+#include "core/incremental.h"
 #include "core/sanitize.h"
 #include "core/stability.h"
 #include "core/stats.h"
@@ -41,6 +42,12 @@ struct AnalysisConfig {
   bool with_stability = false;
   /// Correlate the update stream with the reference atoms.
   bool with_updates = false;
+  /// Additionally maintain the reference atom partition incrementally
+  /// while the update stream drains (core::IncrementalAtoms) and report
+  /// the end-of-stream drift in AnalysisResult::live. O(changes) per
+  /// stream instead of a full recompute; requires with_updates and a
+  /// non-null update view.
+  bool incremental = false;
   /// Retain every snapshot's products (Campaign) instead of only the
   /// reference's (streamed, constant residency).
   bool keep_all = false;
@@ -53,6 +60,18 @@ struct SnapshotStability {
   std::size_t index = 0;  // snapshot index in capture order
   bgp::Timestamp timestamp = 0;
   StabilityResult result;
+};
+
+/// End-of-stream state of the incrementally maintained partition
+/// (AnalysisConfig::incremental): how far the live table drifted from the
+/// reference snapshot, plus the maintenance work it took to follow.
+struct LiveUpdateDrift {
+  /// Atom count after the whole update stream was applied.
+  std::size_t atoms = 0;
+  /// Reference atoms vs the maintained (post-stream) atoms.
+  StabilityResult vs_reference;
+  /// Maintenance work counters (identical for any chunking/threads).
+  IncrementalAtoms::Counters counters;
 };
 
 struct AnalysisResult {
@@ -73,6 +92,9 @@ struct AnalysisResult {
   /// One entry per snapshot i >= 1, in capture order (with_stability).
   std::vector<SnapshotStability> stability;
   std::optional<UpdateCorrelation> correlation;
+  /// Filled when config.incremental maintained the partition through the
+  /// update stream (requires with_updates and a reference snapshot).
+  std::optional<LiveUpdateDrift> live;
 
   bool has_reference() const { return reference_index < atom_sets.size(); }
   const SanitizedSnapshot& reference() const {

@@ -78,6 +78,52 @@ constexpr std::size_t kParallelMinPrefixes = 4096;
 
 }  // namespace
 
+namespace atoms_detail {
+
+void fill_atom_bodies(AtomSet& out,
+                      const std::vector<std::vector<std::uint32_t>>& groups,
+                      const AtomSignatureMatrix& matrix, TaskPool* pool) {
+  const SanitizedSnapshot& snapshot = *out.snapshot;
+  const std::size_t num_vps = matrix.num_vps();
+  OriginCache origin_of(out.paths());
+  out.atoms.resize(groups.size());
+  // Atom bodies are independent: prefixes come from the group, paths
+  // straight off the group's signature row (ascending VP order by
+  // construction). Group members are ascending prefix indices and the
+  // retained-prefix list is sorted, so the prefix list is born sorted.
+  constexpr std::size_t kAtomChunk = 512;
+  const std::size_t num_atoms = groups.size();
+  auto fill_chunk = [&](std::size_t c) {
+    const std::size_t hi = std::min(num_atoms, (c + 1) * kAtomChunk);
+    for (std::size_t a = c * kAtomChunk; a < hi; ++a) {
+      Atom& atom = out.atoms[a];
+      const auto& group = groups[a];
+      atom.prefixes.reserve(group.size());
+      for (std::uint32_t idx : group) {
+        atom.prefixes.push_back(snapshot.prefixes[idx]);
+      }
+      const auto row = matrix.row(group.front());
+      for (std::uint32_t vp = 0; vp < num_vps; ++vp) {
+        if (row[vp] != AtomSignatureMatrix::kAbsent) {
+          atom.paths.emplace_back(vp, AtomSignatureMatrix::path_of(row[vp]));
+        }
+      }
+    }
+  };
+  const std::size_t chunks = (num_atoms + kAtomChunk - 1) / kAtomChunk;
+  if (pool != nullptr) {
+    pool->run(chunks, fill_chunk);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) fill_chunk(c);
+  }
+  out.atom_of.reserve(snapshot.prefixes.size());
+  for (std::uint32_t a = 0; a < out.atoms.size(); ++a) {
+    finalize_atom(out, origin_of, a);
+  }
+}
+
+}  // namespace atoms_detail
+
 // --------------------------------------------------------------- SoA matrix
 
 AtomSignatureMatrix AtomSignatureMatrix::build(
@@ -246,35 +292,7 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
   {
     OBS_SPAN("atoms.finalize");
     out.own_pool = matrix.stripped_pool();
-    OriginCache origin_of(out.paths());
-    out.atoms.resize(merged.size());
-    // Atom bodies are independent: prefixes come from the group, paths
-    // straight off the group's signature row (ascending VP order by
-    // construction). Group members are ascending prefix indices and the
-    // retained-prefix list is sorted, so the prefix list is born sorted.
-    constexpr std::size_t kAtomChunk = 512;
-    const std::size_t num_atoms = merged.size();
-    pool.run((num_atoms + kAtomChunk - 1) / kAtomChunk, [&](std::size_t c) {
-      const std::size_t hi = std::min(num_atoms, (c + 1) * kAtomChunk);
-      for (std::size_t a = c * kAtomChunk; a < hi; ++a) {
-        Atom& atom = out.atoms[a];
-        const auto& group = merged[a];
-        atom.prefixes.reserve(group.size());
-        for (std::uint32_t idx : group) {
-          atom.prefixes.push_back(snapshot.prefixes[idx]);
-        }
-        const auto row = matrix.row(group.front());
-        for (std::uint32_t vp = 0; vp < num_vps; ++vp) {
-          if (row[vp] != AtomSignatureMatrix::kAbsent) {
-            atom.paths.emplace_back(vp, AtomSignatureMatrix::path_of(row[vp]));
-          }
-        }
-      }
-    });
-    out.atom_of.reserve(n);
-    for (std::uint32_t a = 0; a < out.atoms.size(); ++a) {
-      finalize_atom(out, origin_of, a);
-    }
+    atoms_detail::fill_atom_bodies(out, merged, matrix, &pool);
   }
   return out;
 }

@@ -84,6 +84,13 @@ class AtomSignatureMatrix {
   std::uint32_t cell(std::size_t prefix_index, std::size_t vp) const {
     return cells_[prefix_index * num_vps_ + vp];
   }
+  /// Overwrites one cell in place (interned-path-id + 1, or kAbsent).
+  /// This is the incremental-maintenance write path (core/incremental.h):
+  /// a live per-VP path change is exactly one column cell write.
+  void set_cell(std::size_t prefix_index, std::size_t vp,
+                std::uint32_t value) {
+    cells_[prefix_index * num_vps_ + vp] = value;
+  }
   /// Path id encoded in a non-absent cell.
   static bgp::PathId path_of(std::uint32_t cell) { return cell - 1; }
 
@@ -149,5 +156,22 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
 /// thread count (pinned by tests/test_atoms_kernel.cpp).
 AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
                                 const AtomOptions& options = {});
+
+namespace atoms_detail {
+
+/// Shared finalize stage: fills `out.atoms` (prefixes + per-VP paths read
+/// off each group's signature row), then the origin/MOAS derivation and
+/// the atom_of / atoms_by_origin indexes. `groups` must be row-index
+/// groups with ascending members (front() == minimum), ordered by
+/// front() — the canonical group order both compute_atoms' sharded merge
+/// and IncrementalAtoms' first-seen row walk produce. `out.snapshot` and
+/// `out.own_pool` must be set before the call (origin lookups go through
+/// out.paths()). `pool` parallelizes the body fill when non-null; the
+/// result is bit-identical either way.
+void fill_atom_bodies(AtomSet& out,
+                      const std::vector<std::vector<std::uint32_t>>& groups,
+                      const AtomSignatureMatrix& matrix, TaskPool* pool);
+
+}  // namespace atoms_detail
 
 }  // namespace bgpatoms::core

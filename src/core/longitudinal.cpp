@@ -52,6 +52,10 @@ Campaign run_campaign(const CampaignConfig& config) {
   ac.atoms.threads = 1;
   ac.with_stability = config.with_stability;
   ac.with_updates = config.with_updates;
+  // Campaigns with an update stream follow it through the maintained
+  // partition too: O(changes) bookkeeping on top of the correlation
+  // drain, surfacing the live-drift metrics (QuarterMetrics::cam_live).
+  ac.incremental = config.with_updates;
   ac.keep_all = true;
   AnalysisResult r = analyze(view, &view, ac);
 
@@ -64,6 +68,7 @@ Campaign run_campaign(const CampaignConfig& config) {
     c.stability_1w = r.stability[2].result;
   }
   c.correlation = std::move(r.correlation);
+  c.live = r.live;
   return c;
 }
 
@@ -75,7 +80,7 @@ QuarterMetrics make_quarter_metrics(
     double year, const GeneralStats& stats, const AtomSet& atoms,
     const SanitizedSnapshot& reference,
     const StabilityResult* s8h, const StabilityResult* s24h,
-    const StabilityResult* s1w) {
+    const StabilityResult* s1w, const LiveUpdateDrift* live) {
   QuarterMetrics m;
   m.year = year;
   m.stats = stats;
@@ -95,6 +100,10 @@ QuarterMetrics make_quarter_metrics(
   if (s1w) {
     m.cam_1w = s1w->cam;
     m.mpm_1w = s1w->mpm;
+  }
+  if (live) {
+    m.cam_live = live->vs_reference.cam;
+    m.mpm_live = live->vs_reference.mpm;
   }
   const auto& report = reference.report;
   m.full_feed_peers = report.full_feed_peers;
@@ -123,7 +132,8 @@ QuarterMetrics quarter_metrics(const Campaign& c, double year) {
       year, c.stats, c.atoms(), c.sanitized.front(),
       c.stability_8h ? &*c.stability_8h : nullptr,
       c.stability_24h ? &*c.stability_24h : nullptr,
-      c.stability_1w ? &*c.stability_1w : nullptr);
+      c.stability_1w ? &*c.stability_1w : nullptr,
+      c.live ? &*c.live : nullptr);
 }
 
 QuarterMetrics quarter_metrics(const AnalysisResult& r, double year) {
@@ -132,7 +142,8 @@ QuarterMetrics quarter_metrics(const AnalysisResult& r, double year) {
       year, r.stats, r.reference_atoms(), r.reference(),
       deltas ? &r.stability[0].result : nullptr,
       deltas ? &r.stability[1].result : nullptr,
-      deltas ? &r.stability[2].result : nullptr);
+      deltas ? &r.stability[2].result : nullptr,
+      r.live ? &*r.live : nullptr);
 }
 
 QuarterMetrics run_quarter(net::Family family, double year, double scale,

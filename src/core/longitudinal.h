@@ -60,6 +60,9 @@ struct Campaign {
   std::optional<StabilityResult> stability_24h;
   std::optional<StabilityResult> stability_1w;
   std::optional<UpdateCorrelation> correlation;
+  /// Incrementally maintained partition drift over the captured update
+  /// stream (campaigns with with_updates; core::IncrementalAtoms).
+  std::optional<LiveUpdateDrift> live;
 
   const bgp::Dataset& dataset() const { return *data; }
   const AtomSet& atoms() const { return atom_sets.front(); }
@@ -79,6 +82,9 @@ struct QuarterMetrics {
   double cam_8h = 0, mpm_8h = 0;
   double cam_24h = 0, mpm_24h = 0;
   double cam_1w = 0, mpm_1w = 0;
+  /// Reference atoms vs the incrementally maintained partition after the
+  /// 4h update stream (0 when the campaign captured no updates).
+  double cam_live = 0, mpm_live = 0;
   std::size_t full_feed_peers = 0;
   std::size_t full_feed_threshold = 0;  // max unique prefixes over peers
   std::size_t peers_in = 0;             // peer sessions before sanitization

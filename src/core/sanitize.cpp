@@ -83,9 +83,13 @@ SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
           : (src.family() == net::Family::kIPv4 ? 24 : 48);
 
   // --- pass 1: per-peer statistics & abnormal-peer removal ---------------
+  // `kept_index[i]` remembers where kept[i] sat in snap.peers — the peer
+  // namespace update records use (VpTable::source_index).
   std::vector<const bgp::PeerFeed*> kept;
+  std::vector<std::uint32_t> kept_index;
   std::vector<PeerScan> scans;
-  for (const auto& feed : snap.peers) {
+  for (std::uint32_t raw = 0; raw < snap.peers.size(); ++raw) {
+    const auto& feed = snap.peers[raw];
     const PeerScan s = scan_peer(src.paths(), feed);
     if (config.remove_abnormal_peers && s.records > 0) {
       const double corrupt_share =
@@ -111,6 +115,7 @@ SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
       }
     }
     kept.push_back(&feed);
+    kept_index.push_back(raw);
     scans.push_back(s);
   }
 
@@ -128,10 +133,12 @@ SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
                 1e-9));
   if (config.full_feed_only) {
     std::vector<const bgp::PeerFeed*> full;
+    std::vector<std::uint32_t> full_index;
     std::vector<PeerScan> full_scans;
     for (std::size_t i = 0; i < kept.size(); ++i) {
       if (scans[i].unique_prefixes >= full_feed_min) {
         full.push_back(kept[i]);
+        full_index.push_back(kept_index[i]);
         full_scans.push_back(scans[i]);
       } else {
         rep.removed_peers.push_back(
@@ -143,15 +150,18 @@ SanitizedSnapshot sanitize(const bgp::SnapshotView& src,
       }
     }
     kept = std::move(full);
+    kept_index = std::move(full_index);
     scans = std::move(full_scans);
   }
   rep.full_feed_peers = kept.size();
 
   // --- pass 3: record cleaning into per-VP tables -------------------------
   out.vps.reserve(kept.size());
-  for (const auto* feedp : kept) {
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const auto* feedp = kept[k];
     VpTable table;
     table.peer = feedp->peer;
+    table.source_index = kept_index[k];
     table.routes.reserve(feedp->records.size());
     for (const auto& rec : feedp->records) {
       if (bgp::is_addpath_artifact(rec.status)) {

@@ -79,6 +79,11 @@ struct SanitizeReport {
 /// One retained vantage point's cleaned table.
 struct VpTable {
   bgp::PeerIdentity peer;
+  /// Index of this peer's feed in the raw snapshot's `peers` array —
+  /// the namespace bgp::UpdateRecord::peer uses. Sanitization removes
+  /// and reorders peers, so live-update consumers (core::IncrementalAtoms)
+  /// need this to map a record's peer back to a retained VP column.
+  std::uint32_t source_index = 0;
   /// (prefix, path) sorted by prefix id; paths reference the snapshot's own
   /// pool (AS_SET expansion may create paths absent from the dataset pool).
   std::vector<std::pair<bgp::PrefixId, bgp::PathId>> routes;

@@ -122,6 +122,41 @@ TEST(ArgsDeathTest, MalformedDoubleExits) {
               "--scale expects a number");
 }
 
+TEST(Args, InRangeValueAccepted) {
+  const auto args = parse({"--min-peers", "4", "--peer-asn", "4294967295"});
+  EXPECT_EQ(args.get_int("min-peers", 0, 0, 1000), 4);
+  // UINT32_MAX fits in long; the bound makes the uint32 narrowing safe.
+  EXPECT_EQ(args.get_int("peer-asn", 0, 0, 4294967295L), 4294967295L);
+}
+
+TEST(Args, RangeBoundsAreInclusive) {
+  const auto args = parse({"--n", "7"});
+  EXPECT_EQ(args.get_int("n", 0, 7, 7), 7);
+}
+
+TEST(Args, AbsentValueSkipsRangeCheck) {
+  // The fallback is the caller's business, not a parsed value; it is
+  // returned even when outside the declared range.
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("snapshot", -1, 0, 100), -1);
+}
+
+TEST(ArgsDeathTest, BelowRangeExitsWithUsageError) {
+  // Regression: "--min-peers -1" used to flow into an int and wrap; the
+  // parse boundary must reject it before any narrowing cast.
+  const auto args = parse({"--min-peers", "-1"});
+  EXPECT_EXIT(args.get_int("min-peers", 4, 0, 1000),
+              ::testing::ExitedWithCode(2),
+              "--min-peers expects an integer in \\[0, 1000\\], got '-1'");
+}
+
+TEST(ArgsDeathTest, AboveRangeExitsWithUsageError) {
+  const auto args = parse({"--peer-asn", "4294967296"});
+  EXPECT_EXIT(args.get_int("peer-asn", 0, 0, 4294967295L),
+              ::testing::ExitedWithCode(2),
+              "--peer-asn expects an integer in \\[0, 4294967295\\]");
+}
+
 TEST(ArgsDeathTest, MissingValueIsMalformedNotZero) {
   // A flag used where a numeric option was meant ("--snapshot" with no
   // value) errors instead of silently parsing the empty string as 0.

@@ -89,6 +89,14 @@ void expect_analysis_eq(const AnalysisResult& a, const AnalysisResult& b) {
   }
   ASSERT_EQ(a.correlation.has_value(), b.correlation.has_value());
   if (a.correlation) expect_correlation_eq(*a.correlation, *b.correlation);
+  // The incrementally maintained partition follows the same stream on
+  // both backends: identical drift, identical work counters.
+  ASSERT_EQ(a.live.has_value(), b.live.has_value());
+  if (a.live) {
+    EXPECT_EQ(a.live->atoms, b.live->atoms);
+    expect_stability_eq(a.live->vs_reference, b.live->vs_reference);
+    EXPECT_EQ(a.live->counters, b.live->counters);
+  }
 }
 
 /// One small campaign shared by the equivalence tests: 4 snapshots
@@ -111,6 +119,9 @@ AnalysisConfig full_config() {
   config.atoms.threads = 1;
   config.with_stability = true;
   config.with_updates = true;
+  // Mirrors run_campaign: campaigns with update capture also maintain the
+  // partition incrementally (AnalysisResult::live).
+  config.incremental = true;
   config.keep_all = true;
   return config;
 }
