@@ -39,6 +39,7 @@ void register_extra_quality(Registry& registry);
 void register_perf_sweep(Registry& registry);
 void register_perf_atoms(Registry& registry);
 void register_perf_incremental(Registry& registry);
+void register_perf_serve(Registry& registry);
 
 /// Registers every experiment above, in paper order (tables, figures,
 /// reproduction, ablations, extras, perf).

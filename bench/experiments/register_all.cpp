@@ -32,6 +32,7 @@ void register_all_experiments(Registry& registry) {
   register_perf_sweep(registry);
   register_perf_atoms(registry);
   register_perf_incremental(registry);
+  register_perf_serve(registry);
 }
 
 }  // namespace bgpatoms::bench

@@ -9,6 +9,7 @@
 // do).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "core/env.h"
+#include "net/prefix.h"
 
 namespace bgpatoms::cli {
 
@@ -54,12 +56,33 @@ class Args {
   /// Strict numeric accessors: a present but malformed value ("--threads
   /// abc", "--scale 0.5x") is a hard usage error — print a diagnostic and
   /// exit 2 — never a silent 0 the way atof/atol behaved.
-  double get_double(const std::string& name, double fallback) const {
+  /// `min_value`/`max_value` bound the accepted range the same way
+  /// get_int's bounds do; NaN never satisfies a range, so it is always a
+  /// usage error (exit 2), even under the default unbounded range.
+  double get_double(
+      const std::string& name, double fallback,
+      double min_value = -std::numeric_limits<double>::infinity(),
+      double max_value = std::numeric_limits<double>::infinity()) const {
     const auto it = options_.find(name);
     if (it == options_.end()) return fallback;
     const auto value = core::parse_double(it->second);
     if (!value) fail_parse(name, it->second, "a number");
+    if (std::isnan(*value) || *value < min_value || *value > max_value) {
+      fail_range_double(name, it->second, min_value, max_value);
+    }
     return *value;
+  }
+
+  /// Strict prefix accessor: the value must parse through the one shared
+  /// net::parse_prefix helper ("addr/len" CIDR or a bare address as a
+  /// host route). Malformed input is a usage error (exit 2), never a
+  /// silently skipped filter. nullopt when the option is absent.
+  std::optional<net::Prefix> get_prefix(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return std::nullopt;
+    const auto prefix = net::parse_prefix(it->second);
+    if (!prefix) fail_parse(name, it->second, "an IP prefix or address");
+    return prefix;
   }
 
   /// `min_value`/`max_value` bound the accepted range: an in-range check
@@ -109,6 +132,16 @@ class Args {
                                       long hi) {
     std::fprintf(stderr,
                  "error: --%s expects an integer in [%ld, %ld], got '%s' "
+                 "(see --help)\n",
+                 name.c_str(), lo, hi, value.c_str());
+    std::exit(2);
+  }
+
+  [[noreturn]] static void fail_range_double(const std::string& name,
+                                             const std::string& value,
+                                             double lo, double hi) {
+    std::fprintf(stderr,
+                 "error: --%s expects a number in [%g, %g], got '%s' "
                  "(see --help)\n",
                  name.c_str(), lo, hi, value.c_str());
     std::exit(2);

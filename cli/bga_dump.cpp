@@ -32,7 +32,8 @@ constexpr char kUsage[] =
     "by section, non-matching records are skipped as they pass):\n"
     "  --collector <c>    restrict to one collector\n"
     "  --peer-asn <asn>   restrict to one peer AS\n"
-    "  --prefix <p>       restrict to prefixes within <p> (e.g. 10.0.0.0/8)\n"
+    "  --prefix <p>       restrict to prefixes within <p>: CIDR, or a bare\n"
+    "                     address as a host route (e.g. 10.0.0.0/8)\n"
     "  --time-begin <t>   drop records with timestamp < t\n"
     "  --time-end <t>     drop records with timestamp >= t\n"
     "  --rib-only         RIB rows only (no update NLRIs)\n"
@@ -136,15 +137,10 @@ int main(int argc, char** argv) {
         filters.peer_asn = static_cast<net::Asn>(
             args.get_int("peer-asn", 0, 0, UINT32_MAX));
       }
-      if (args.has("prefix")) {
-        const auto p = net::Prefix::parse(args.get("prefix"));
-        if (!p) {
-          std::fprintf(stderr, "error: bad --prefix %s\n",
-                       args.get("prefix").c_str());
-          return 1;
-        }
-        filters.prefix_within = *p;
-      }
+      // Strict shared parser (net::parse_prefix via Args::get_prefix):
+      // a malformed --prefix is a usage error (exit 2), never a silently
+      // empty filter.
+      if (const auto p = args.get_prefix("prefix")) filters.prefix_within = *p;
       filters.time_begin = args.get_int("time-begin", INT64_MIN);
       filters.time_end = args.get_int("time-end", INT64_MAX);
       if (args.has("rib-only")) filters.include_updates = false;

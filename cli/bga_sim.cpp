@@ -50,10 +50,12 @@ int main(int argc, char** argv) {
   args.usage_if(out.empty(), kUsage);
   const MetricsAtExit metrics{args.has("metrics")};
 
-  const double year = args.get_double("year", 2024.75);
-  const double scale = args.get_double("scale", 0.01);
+  // Bounded at the parse boundary (exit 2 on out-of-range/NaN), same
+  // policy as the integer options.
+  const double year = args.get_double("year", 2024.75, 1990.0, 2100.0);
+  const double scale = args.get_double("scale", 0.01, 1e-6, 1e3);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const double update_hours = args.get_double("updates", 0);
+  const double update_hours = args.get_double("updates", 0, 0.0, 24.0 * 366);
 
   const topo::EraParams era = args.has("v6")
                                   ? topo::era_params_v6(year, scale)

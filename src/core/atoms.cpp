@@ -456,4 +456,35 @@ AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
   return out;
 }
 
+namespace {
+
+constexpr std::uint64_t kCompositionSeed = 0xc095ULL;
+
+std::uint64_t composition_hash(std::span<const bgp::PrefixId> prefixes) {
+  return hash_span<bgp::PrefixId>(prefixes, kCompositionSeed);
+}
+
+}  // namespace
+
+AtomCompositions::AtomCompositions(const AtomSet& atoms) : atoms_(&atoms) {
+  by_hash_.reserve(atoms.atoms.size());
+  for (std::uint32_t i = 0; i < atoms.atoms.size(); ++i) {
+    by_hash_[composition_hash(atoms.atoms[i].prefixes)].push_back(i);
+  }
+}
+
+std::uint32_t AtomCompositions::find(
+    std::span<const bgp::PrefixId> prefixes) const {
+  const auto it = by_hash_.find(composition_hash(prefixes));
+  if (it == by_hash_.end()) return kNone;
+  for (std::uint32_t cand : it->second) {
+    const auto& members = atoms_->atoms[cand].prefixes;
+    if (members.size() == prefixes.size() &&
+        std::equal(members.begin(), members.end(), prefixes.begin())) {
+      return cand;
+    }
+  }
+  return kNone;
+}
+
 }  // namespace bgpatoms::core

@@ -146,6 +146,35 @@ struct AtomSet {
   }
 };
 
+/// Membership index over an AtomSet's atom compositions (their sorted
+/// member-prefix-id sets): hash-bucketed with exact verification. This is
+/// the one composition-lookup substrate — the stability (CAM) and splits
+/// (present-at-t0) kernels and the query layer's AtomIndex all resolve
+/// "is this exact prefix set an atom here?" through it instead of each
+/// carrying its own set_hash + rescan loop. Compositions are keyed by
+/// PrefixId, so lookups are only meaningful against sets drawn from the
+/// same prefix pool; the referenced AtomSet must outlive the index.
+class AtomCompositions {
+ public:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  explicit AtomCompositions(const AtomSet& atoms);
+
+  /// Index of the first atom whose member set equals `prefixes` exactly;
+  /// kNone if no atom has that composition.
+  std::uint32_t find(std::span<const bgp::PrefixId> prefixes) const;
+
+  bool contains(std::span<const bgp::PrefixId> prefixes) const {
+    return find(prefixes) != kNone;
+  }
+
+  std::size_t size() const { return atoms_->atoms.size(); }
+
+ private:
+  const AtomSet* atoms_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash_;
+};
+
 /// Groups the snapshot's prefixes into policy atoms (SoA matrix kernel;
 /// honors options.use_reference_kernel).
 AtomSet compute_atoms(const SanitizedSnapshot& snapshot,

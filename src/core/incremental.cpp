@@ -11,9 +11,10 @@ namespace bgpatoms::core {
 
 namespace {
 
-/// Seed for the canonical-partition digest; distinct from the grouping
-/// hash seed so the two never alias by construction.
-constexpr std::uint64_t kFingerprintSeed = 0x1a70;
+/// Seed for the canonical-partition digest (the header constant, so
+/// query::AtomIndex computes the identical digest); distinct from the
+/// grouping hash seed so the two never alias by construction.
+constexpr std::uint64_t kFingerprintSeed = kPartitionFingerprintSeed;
 /// Row-grouping hash seed — the same one compute_atoms uses, though the
 /// contract makes the partition independent of the choice.
 constexpr std::uint64_t kRowSeed = 0x9d3f;
@@ -245,6 +246,13 @@ void IncrementalAtoms::flush() {
   counters_.merges += merges;
   OBS_COUNT_N("atoms.incr.splits", splits);
   OBS_COUNT_N("atoms.incr.merges", merges);
+}
+
+std::vector<std::uint32_t> IncrementalAtoms::regroup() {
+  std::vector<std::uint32_t> rows = dirty_rows_;
+  std::sort(rows.begin(), rows.end());
+  flush();
+  return rows;
 }
 
 AtomSet IncrementalAtoms::atoms() {

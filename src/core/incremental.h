@@ -30,6 +30,11 @@
 
 namespace bgpatoms::core {
 
+/// Seed of the partition-fingerprint digest. Shared with query::AtomIndex
+/// so an index's fingerprint is bit-equal to the core ones whenever the
+/// partitions are equal.
+inline constexpr std::uint64_t kPartitionFingerprintSeed = 0x1a70;
+
 class IncrementalAtoms {
  public:
   /// Work done since construction. Everything here counts input-ordered
@@ -102,6 +107,40 @@ class IncrementalAtoms {
   const Counters& counters() const { return counters_; }
   std::size_t num_prefixes() const { return matrix_.num_prefixes(); }
   std::size_t num_vps() const { return matrix_.num_vps(); }
+
+  // --- Live-index refresh hooks (query::AtomIndex::refresh) -----------
+  // Clean rows never change group id during a flush (phase 1 removes only
+  // dirty rows; surviving groups keep their slot), so a consumer that
+  // re-binds exactly the returned rows — and rebuilds the groups they
+  // left or joined — tracks the partition in O(dirty rows).
+
+  /// Flushes pending cell writes into the group structure and returns the
+  /// rows regrouped by this pass, ascending (empty when nothing was
+  /// dirty).
+  std::vector<std::uint32_t> regroup();
+
+  /// Current group id of `row`. Ids identify live equality classes only:
+  /// emptied slots are recycled, so they are not stable across flushes.
+  std::uint32_t group_of(std::uint32_t row) const { return group_of_[row]; }
+
+  /// Member rows of group `gid`, unordered.
+  std::span<const std::uint32_t> group_members(std::uint32_t gid) const {
+    return groups_[gid].members;
+  }
+
+  /// Signature row of `row`: one cell per VP (interned-path-id + 1,
+  /// 0 = absent), ids resolving through live_paths().
+  std::span<const std::uint32_t> signature_row(std::uint32_t row) const {
+    return matrix_.row(row);
+  }
+
+  /// The evolving path pool matrix cells refer to. Invalidated (grown,
+  /// never reordered) by apply().
+  const net::PathPool& live_paths() const { return *pool_; }
+
+  /// The seed snapshot: prefix universe and VP identities, fixed for the
+  /// lifetime of this object.
+  const SanitizedSnapshot& seed_snapshot() const { return *seed_; }
 
  private:
   struct Group {

@@ -17,10 +17,6 @@ std::uint64_t peer_key(const bgp::PeerIdentity& p) {
   return h;
 }
 
-std::uint64_t set_hash(const std::vector<bgp::PrefixId>& v) {
-  return hash_span<bgp::PrefixId>(v, 0x5eedULL);
-}
-
 }  // namespace
 
 std::vector<SplitEvent> detect_splits(const AtomSet& t0, const AtomSet& t1,
@@ -28,19 +24,7 @@ std::vector<SplitEvent> detect_splits(const AtomSet& t0, const AtomSet& t1,
   std::vector<SplitEvent> events;
 
   // Atom compositions present at t0.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> t0_sets;
-  t0_sets.reserve(t0.atoms.size());
-  for (std::uint32_t i = 0; i < t0.atoms.size(); ++i) {
-    t0_sets[set_hash(t0.atoms[i].prefixes)].push_back(i);
-  }
-  auto present_at_t0 = [&](const std::vector<bgp::PrefixId>& prefixes) {
-    const auto it = t0_sets.find(set_hash(prefixes));
-    if (it == t0_sets.end()) return false;
-    for (std::uint32_t cand : it->second) {
-      if (t0.atoms[cand].prefixes == prefixes) return true;
-    }
-    return false;
-  };
+  const AtomCompositions t0_sets(t0);
 
   // t2 vantage points by peer identity.
   std::unordered_map<std::uint64_t, std::uint32_t> t2_vp;
@@ -51,7 +35,7 @@ std::vector<SplitEvent> detect_splits(const AtomSet& t0, const AtomSet& t1,
   for (std::uint32_t a = 0; a < t1.atoms.size(); ++a) {
     const Atom& atom = t1.atoms[a];
     if (atom.size() < 2) continue;  // a 1-prefix atom cannot split
-    if (!present_at_t0(atom.prefixes)) continue;
+    if (!t0_sets.contains(atom.prefixes)) continue;
 
     // Split test: do the prefixes span more than one atom at t2? A prefix
     // missing from t2 entirely counts as its own group.

@@ -13,24 +13,11 @@ StabilityResult stability(const AtomSet& t1, const AtomSet& t2) {
   r.atoms_t1 = t1.atoms.size();
 
   // --- CAM: exact prefix-set matches --------------------------------------
-  // Hash t2's atoms by their (sorted) prefix sets, verify equality exactly.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> t2_by_hash;
-  t2_by_hash.reserve(t2.atoms.size());
-  auto set_hash = [](const std::vector<bgp::PrefixId>& v) {
-    return hash_span<bgp::PrefixId>(v, 0x57ab);
-  };
-  for (std::uint32_t i = 0; i < t2.atoms.size(); ++i) {
-    t2_by_hash[set_hash(t2.atoms[i].prefixes)].push_back(i);
-  }
+  // Index t2's atoms by composition; an atom survives iff its exact
+  // member set is still an atom at t2.
+  const AtomCompositions t2_sets(t2);
   for (const auto& atom : t1.atoms) {
-    const auto it = t2_by_hash.find(set_hash(atom.prefixes));
-    if (it == t2_by_hash.end()) continue;
-    for (std::uint32_t cand : it->second) {
-      if (t2.atoms[cand].prefixes == atom.prefixes) {
-        ++r.atoms_matched_exactly;
-        break;
-      }
-    }
+    if (t2_sets.contains(atom.prefixes)) ++r.atoms_matched_exactly;
   }
   r.cam = r.atoms_t1 ? static_cast<double>(r.atoms_matched_exactly) /
                            static_cast<double>(r.atoms_t1)

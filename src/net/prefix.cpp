@@ -23,4 +23,11 @@ std::string Prefix::to_string() const {
   return addr_.to_string() + "/" + std::to_string(length_);
 }
 
+std::optional<Prefix> parse_prefix(std::string_view text) {
+  if (text.find('/') != std::string_view::npos) return Prefix::parse(text);
+  const auto addr = IpAddress::parse(text);
+  if (!addr) return std::nullopt;
+  return Prefix(*addr, address_bits(addr->family()));
+}
+
 }  // namespace bgpatoms::net

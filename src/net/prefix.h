@@ -77,4 +77,10 @@ struct PrefixHash {
   }
 };
 
+/// Strict CLI-facing prefix parser: accepts "addr/len" CIDR form or a bare
+/// address, which becomes a host route (/32 or /128). This is the one
+/// parser every CLI prefix argument goes through, so malformed input is
+/// rejected uniformly instead of being silently skipped.
+std::optional<Prefix> parse_prefix(std::string_view text);
+
 }  // namespace bgpatoms::net

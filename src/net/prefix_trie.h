@@ -12,6 +12,7 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/prefix.h"
@@ -72,6 +73,13 @@ class PrefixTrie {
     if (best < 0) return std::nullopt;
     return std::make_pair(Prefix(prefix.address(), best_depth),
                           nodes_[best].value);
+  }
+
+  /// Longest stored prefix containing the host address `addr` — the
+  /// routing-table lookup. Equivalent to longest_match on the host route.
+  std::optional<std::pair<Prefix, T>> longest_match(
+      const IpAddress& addr) const {
+    return longest_match(Prefix(addr, address_bits(family_)));
   }
 
   /// True if any stored prefix strictly contains `prefix`.
@@ -166,6 +174,52 @@ class PrefixTrie {
   Family family_;
   std::vector<Node> nodes_;
   std::size_t value_count_ = 0;
+};
+
+/// A pair of per-family tries presenting one keyspace over both address
+/// families. Covers the full CIDR range of each family, /0 through host
+/// routes, so a single structure can back a dual-stack routing lookup.
+template <typename T>
+class DualPrefixTrie {
+ public:
+  DualPrefixTrie() : v4_(Family::kIPv4), v6_(Family::kIPv6) {}
+
+  std::size_t size() const { return v4_.size() + v6_.size(); }
+  bool empty() const { return v4_.empty() && v6_.empty(); }
+
+  bool insert(const Prefix& prefix, T value) {
+    return table(prefix.family()).insert(prefix, std::move(value));
+  }
+
+  const T* find(const Prefix& prefix) const {
+    return table(prefix.family()).find(prefix);
+  }
+
+  std::optional<std::pair<Prefix, T>> longest_match(
+      const Prefix& prefix) const {
+    return table(prefix.family()).longest_match(prefix);
+  }
+
+  std::optional<std::pair<Prefix, T>> longest_match(
+      const IpAddress& addr) const {
+    return table(addr.family()).longest_match(addr);
+  }
+
+  /// Invokes `fn(prefix, value)` for every stored prefix, v4 before v6.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    v4_.for_each(fn);
+    v6_.for_each(fn);
+  }
+
+ private:
+  const PrefixTrie<T>& table(Family f) const {
+    return f == Family::kIPv4 ? v4_ : v6_;
+  }
+  PrefixTrie<T>& table(Family f) { return f == Family::kIPv4 ? v4_ : v6_; }
+
+  PrefixTrie<T> v4_;
+  PrefixTrie<T> v6_;
 };
 
 }  // namespace bgpatoms::net

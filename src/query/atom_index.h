@@ -1,0 +1,142 @@
+// Read-side atom index: the query layer's core structure (ROADMAP item 1).
+//
+// An AtomIndex turns one snapshot's atom partition into the three lookups
+// the product surface needs, without re-running any batch analysis:
+//
+//   * longest-prefix match: address or CIDR query -> covering stored
+//     prefix -> atom id (dual-stack trie over the full /0..host range),
+//   * atom id -> member prefixes (as net::Prefix values, so answers are
+//     comparable across archives whose PrefixId spaces differ),
+//   * atom id -> the per-VP shared interned AS path.
+//
+// Two construction paths share the layout. build(AtomSet) freezes a batch
+// result: atom ids equal the AtomSet's atom indices, so every answer is
+// bit-identical to the compute_atoms() product. build(IncrementalAtoms) +
+// refresh() follow a live partition: the trie (prefix universe is fixed)
+// is never rebuilt, and a refresh re-binds exactly the rows the flush
+// regrouped — O(dirty rows), the apply-into-index path. Live atom ids are
+// slot-stable between refreshes but not canonical; comparisons against
+// batch results go through memberships, paths, and fingerprints, which
+// are identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/atoms.h"
+#include "core/incremental.h"
+#include "net/prefix_trie.h"
+
+namespace bgpatoms::query {
+
+/// One atom's read-side record.
+struct AtomRecord {
+  /// Member rows (positions in the index's prefix table), ascending.
+  std::vector<std::uint32_t> rows;
+  /// Per-VP observed path: (vp, path id in paths()), ascending by vp.
+  /// VPs not listed do not see the atom.
+  std::vector<std::pair<std::uint32_t, bgp::PathId>> paths;
+  /// Origin AS (0 if indeterminate) and MOAS-conflict flag.
+  net::Asn origin = 0;
+  bool moas = false;
+
+  std::size_t size() const { return rows.size(); }
+};
+
+class AtomIndex {
+ public:
+  static constexpr std::uint32_t kNoAtom = UINT32_MAX;
+
+  /// What a point query resolves to.
+  struct Match {
+    net::Prefix prefix;       // the stored prefix that matched
+    std::uint32_t row = 0;    // its row in the prefix table
+    std::uint32_t atom = 0;   // the atom currently holding it
+  };
+
+  AtomIndex() = default;
+
+  /// Freezes a batch result. Atom ids == `atoms` indices; member prefixes
+  /// resolve through the snapshot's prefix pool; the path pool is copied,
+  /// so the index outlives the AtomSet and its snapshot.
+  static AtomIndex build(const core::AtomSet& atoms);
+
+  /// Binds to a live partition (flushes it first). The index follows
+  /// `live` through refresh(); `live` must outlive the index.
+  static AtomIndex build(core::IncrementalAtoms& live);
+
+  /// Re-binds the rows regrouped since the last build/refresh — the
+  /// apply-into-index path, O(dirty rows). Only valid for an index built
+  /// from the same IncrementalAtoms.
+  void refresh(core::IncrementalAtoms& live);
+
+  // --- point queries ---------------------------------------------------
+
+  /// Longest stored prefix covering `addr` and its atom.
+  std::optional<Match> lookup(const net::IpAddress& addr) const;
+
+  /// Longest stored prefix covering (or equal to) `prefix` and its atom.
+  std::optional<Match> lookup(const net::Prefix& prefix) const;
+
+  /// The atom record for `id`; nullptr for unknown / freed ids.
+  const AtomRecord* atom(std::uint32_t id) const;
+
+  /// The prefix stored at `row`.
+  const net::Prefix& prefix_at(std::uint32_t row) const {
+    return row_prefix_[row];
+  }
+  /// The source snapshot's PrefixId for `row` (oracle comparisons).
+  bgp::PrefixId prefix_id_at(std::uint32_t row) const { return row_id_[row]; }
+
+  /// Member prefixes of atom `id`, ascending by Prefix value — the
+  /// cross-archive composition key. Empty for unknown ids.
+  std::vector<net::Prefix> atom_prefixes(std::uint32_t id) const;
+
+  /// Order-independent digest of atom `id`'s member Prefix values; equal
+  /// across archives iff the composed value sets are equal (verification
+  /// stays with the caller when it matters). 0 for unknown ids.
+  std::uint64_t composition_digest(std::uint32_t id) const;
+
+  // --- partition-level queries -----------------------------------------
+
+  /// Canonical digest of the partition under the same encoding as
+  /// core::partition_fingerprint(): first-seen class numbers over rows,
+  /// hashed. Equal to the batch/incremental fingerprints by construction.
+  std::uint64_t partition_fingerprint() const;
+
+  std::size_t prefix_count() const { return row_prefix_.size(); }
+  /// Live atoms (freed slots excluded).
+  std::size_t atom_count() const { return live_atoms_; }
+  std::size_t vp_count() const { return num_vps_; }
+  bgp::Timestamp timestamp() const { return timestamp_; }
+
+  /// Pool the AtomRecord path ids resolve through.
+  const net::PathPool& paths() const { return *paths_; }
+
+ private:
+  void index_prefixes(const core::SanitizedSnapshot& snapshot);
+  void rebuild_record(std::uint32_t slot, std::vector<std::uint32_t> rows,
+                      const core::IncrementalAtoms& live);
+  std::uint32_t allocate_slot();
+
+  net::DualPrefixTrie<std::uint32_t> trie_;  // prefix -> row (immutable)
+  std::vector<net::Prefix> row_prefix_;      // row -> prefix value
+  std::vector<bgp::PrefixId> row_id_;        // row -> source PrefixId
+  std::vector<std::uint32_t> atom_of_row_;   // row -> atom slot
+  std::vector<AtomRecord> atoms_;            // slot -> record
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> slot_stamp_;    // per-refresh scratch
+  std::uint32_t stamp_gen_ = 0;
+  std::size_t live_atoms_ = 0;
+  std::size_t num_vps_ = 0;
+  bgp::Timestamp timestamp_ = 0;
+  /// Owned copy (batch build) or the live object's evolving pool.
+  std::shared_ptr<const net::PathPool> owned_paths_;
+  const net::PathPool* paths_ = nullptr;
+};
+
+}  // namespace bgpatoms::query

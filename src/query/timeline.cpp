@@ -1,0 +1,51 @@
+#include "query/timeline.h"
+
+#include <utility>
+
+namespace bgpatoms::query {
+
+void Timeline::add(std::string label,
+                   std::shared_ptr<const AtomIndex> index) {
+  Entry e;
+  e.label = std::move(label);
+  e.fingerprint = index->partition_fingerprint();
+  e.index = std::move(index);
+  entries_.push_back(std::move(e));
+}
+
+std::vector<Timeline::HistoryEntry> Timeline::history(
+    const net::IpAddress& addr) const {
+  std::vector<HistoryEntry> out;
+  out.reserve(entries_.size());
+  std::uint64_t prev_digest = 0;
+  std::vector<net::Prefix> prev_members;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AtomIndex& index = *entries_[i].index;
+    HistoryEntry e;
+    e.snapshot = i;
+    const auto hit = index.lookup(addr);
+    if (hit) {
+      const AtomRecord* rec = index.atom(hit->atom);
+      e.present = true;
+      e.matched = hit->prefix;
+      e.atom = hit->atom;
+      e.size = rec->size();
+      e.origin = rec->origin;
+      e.moas = rec->moas;
+      const std::uint64_t digest = index.composition_digest(hit->atom);
+      std::vector<net::Prefix> members = index.atom_prefixes(hit->atom);
+      // Digest first (cheap), exact member-set comparison to confirm —
+      // the digest is commutative, the members come back value-sorted.
+      e.same_as_previous =
+          have_prev && digest == prev_digest && members == prev_members;
+      prev_digest = digest;
+      prev_members = std::move(members);
+      have_prev = true;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace bgpatoms::query

@@ -1,0 +1,81 @@
+// Multi-snapshot query surface: a Timeline stacks AtomIndexes built from
+// successive archives (capture order) and answers the cross-snapshot
+// questions a single index cannot: "what happened to the atom covering
+// this address over time?" and "do two snapshots carry the same
+// partition?".
+//
+// Equivalence goes through the canonical partition fingerprint (PR 7's
+// partition_fingerprint(), recomputed index-side under the same
+// encoding), which is exact when the snapshots share a prefix universe —
+// the trend/serve deployment, where archives are cuts of one evolving
+// world. Composition continuity in history() is keyed by member Prefix
+// *values* (order-independent digest + exact set verification), so it
+// stays meaningful across archives whose PrefixId spaces differ.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/atom_index.h"
+
+namespace bgpatoms::query {
+
+class Timeline {
+ public:
+  /// One snapshot's presence in the history of a queried address.
+  struct HistoryEntry {
+    std::size_t snapshot = 0;  // position in the timeline
+    bool present = false;      // false: no stored prefix covers the query
+    net::Prefix matched;       // longest-matching stored prefix
+    std::uint32_t atom = 0;    // atom id within that snapshot
+    std::size_t size = 0;      // member prefixes
+    net::Asn origin = 0;
+    bool moas = false;
+    /// True when the atom's member-prefix value set is identical to the
+    /// matched atom in the previous *present* entry (exact comparison,
+    /// not just digest equality). Always false for the first hit.
+    bool same_as_previous = false;
+  };
+
+  /// Appends a snapshot's index; `label` names it in answers (archive
+  /// path, timestamp tag, ...).
+  void add(std::string label, std::shared_ptr<const AtomIndex> index);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const AtomIndex& at(std::size_t i) const { return *entries_[i].index; }
+  const std::string& label(std::size_t i) const { return entries_[i].label; }
+  const std::shared_ptr<const AtomIndex>& share(std::size_t i) const {
+    return entries_[i].index;
+  }
+
+  /// The newest snapshot (point queries default to it).
+  const AtomIndex& latest() const { return *entries_.back().index; }
+
+  /// Partition fingerprint of snapshot `i` (memoized at add()).
+  std::uint64_t fingerprint(std::size_t i) const {
+    return entries_[i].fingerprint;
+  }
+
+  /// Whole-partition equivalence of snapshots `i` and `j`.
+  bool equivalent(std::size_t i, std::size_t j) const {
+    return entries_[i].fingerprint == entries_[j].fingerprint;
+  }
+
+  /// The queried address's atom at every snapshot, oldest first.
+  std::vector<HistoryEntry> history(const net::IpAddress& addr) const;
+
+ private:
+  struct Entry {
+    std::string label;
+    std::shared_ptr<const AtomIndex> index;
+    std::uint64_t fingerprint = 0;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace bgpatoms::query

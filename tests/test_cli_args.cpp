@@ -157,6 +157,65 @@ TEST(ArgsDeathTest, AboveRangeExitsWithUsageError) {
               "--peer-asn expects an integer in \\[0, 4294967295\\]");
 }
 
+TEST(Args, DoubleRangeBoundsAreInclusive) {
+  const auto args = parse({"--year", "1990", "--scale", "1e3"});
+  EXPECT_DOUBLE_EQ(args.get_double("year", 0, 1990.0, 2100.0), 1990.0);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0, 1e-6, 1e3), 1e3);
+}
+
+TEST(Args, AbsentDoubleSkipsRangeCheck) {
+  const auto args = parse({});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", -1.0, 0.0, 1.0), -1.0);
+}
+
+TEST(ArgsDeathTest, DoubleBelowRangeExitsWithUsageError) {
+  const auto args = parse({"--scale", "-0.5"});
+  EXPECT_EXIT(args.get_double("scale", 0.01, 1e-6, 1e3),
+              ::testing::ExitedWithCode(2),
+              "--scale expects a number in \\[1e-06, 1000\\], got '-0.5'");
+}
+
+TEST(ArgsDeathTest, DoubleAboveRangeExitsWithUsageError) {
+  const auto args = parse({"--year", "2101"});
+  EXPECT_EXIT(args.get_double("year", 2024.75, 1990.0, 2100.0),
+              ::testing::ExitedWithCode(2),
+              "--year expects a number in \\[1990, 2100\\]");
+}
+
+TEST(ArgsDeathTest, NanNeverSatisfiesARange) {
+  // NaN compares false against any bound, so it must error even under
+  // the default unbounded range — never flow into a computation.
+  const auto args = parse({"--scale", "nan"});
+  EXPECT_EXIT(args.get_double("scale", 0.01), ::testing::ExitedWithCode(2),
+              "--scale expects a number in");
+}
+
+TEST(Args, PrefixAccessor) {
+  const auto args = parse({"--prefix", "10.0.0.0/8", "--lookup", "192.0.2.1"});
+  const auto p = args.get_prefix("prefix");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  // A bare address becomes a host route through the shared strict parser.
+  const auto host = args.get_prefix("lookup");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->to_string(), "192.0.2.1/32");
+  EXPECT_FALSE(args.get_prefix("absent").has_value());
+}
+
+TEST(ArgsDeathTest, MalformedPrefixExitsWithUsageError) {
+  // The old bga_dump --filter path silently skipped malformed prefixes;
+  // the shared parse boundary must make them a hard usage error.
+  const auto args = parse({"--prefix", "10.0.0.0/33"});
+  EXPECT_EXIT(args.get_prefix("prefix"), ::testing::ExitedWithCode(2),
+              "--prefix expects an IP prefix or address, got '10.0.0.0/33'");
+}
+
+TEST(ArgsDeathTest, NonAddressPrefixExits) {
+  const auto args = parse({"--prefix", "not-a-prefix"});
+  EXPECT_EXIT(args.get_prefix("prefix"), ::testing::ExitedWithCode(2),
+              "--prefix expects an IP prefix or address");
+}
+
 TEST(ArgsDeathTest, MissingValueIsMalformedNotZero) {
   // A flag used where a numeric option was meant ("--snapshot" with no
   // value) errors instead of silently parsing the empty string as 0.

@@ -98,6 +98,58 @@ TEST(PrefixTrie, IPv6Depth) {
             32);
 }
 
+TEST(PrefixTrie, LongestMatchByAddress) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  const auto m = trie.longest_match(*IpAddress::parse("10.1.2.3"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->second, 16);
+  EXPECT_FALSE(trie.longest_match(*IpAddress::parse("11.0.0.1")).has_value());
+}
+
+TEST(DualPrefixTrie, RoutesByFamily) {
+  DualPrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 4);
+  trie.insert(*Prefix::parse("2001:db8::/32"), 6);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_FALSE(trie.empty());
+
+  ASSERT_NE(trie.find(*Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 4);
+  ASSERT_NE(trie.find(*Prefix::parse("2001:db8::/32")), nullptr);
+  EXPECT_EQ(*trie.find(*Prefix::parse("2001:db8::/32")), 6);
+
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("10.9.9.9"))->second, 4);
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("2001:db8::1"))->second, 6);
+  EXPECT_FALSE(trie.longest_match(*IpAddress::parse("192.0.2.1")).has_value());
+  EXPECT_FALSE(trie.longest_match(*IpAddress::parse("2001:db9::1")).has_value());
+}
+
+TEST(DualPrefixTrie, HostRoutesAndDefaultRoutes) {
+  DualPrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("0.0.0.0/0"), 1);
+  trie.insert(*Prefix::parse("192.0.2.7/32"), 2);
+  trie.insert(*Prefix::parse("::/0"), 3);
+  trie.insert(*Prefix::parse("2001:db8::7/128"), 4);
+
+  // Host route wins over the default; everything else falls to /0.
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("192.0.2.7"))->second, 2);
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("192.0.2.8"))->second, 1);
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("2001:db8::7"))->second, 4);
+  EXPECT_EQ(trie.longest_match(*IpAddress::parse("2001:db8::8"))->second, 3);
+}
+
+TEST(DualPrefixTrie, ForEachVisitsV4ThenV6) {
+  DualPrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("2001:db8::/32"), 6);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 4);
+  std::vector<int> seen;
+  trie.for_each([&](const Prefix&, int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{4, 6}));
+}
+
 // Property sweep: trie lookups agree with a brute-force reference.
 class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -3,8 +3,8 @@
 # the sanitizer presets over their labeled smoke subsets (see
 # CMakePresets.json and tests/CMakeLists.txt for the label wiring).
 #
-#   tools/ci_check.sh             # default + asan + tsan
-#   tools/ci_check.sh default     # any subset of: default asan tsan
+#   tools/ci_check.sh             # default + serve + asan + tsan
+#   tools/ci_check.sh default     # any subset of: default serve asan tsan
 #
 # Run from the repository root. Each stage is incremental: configure is
 # skipped when the preset's build directory already has a cache.
@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default asan tsan)
+  STAGES=(default serve asan tsan)
 fi
 
 configure() { # <preset> <builddir>
@@ -32,6 +32,13 @@ for stage in "${STAGES[@]}"; do
       cmake --build --preset default -j "${JOBS}"
       ctest --test-dir build --output-on-failure -j "${JOBS}"
       ;;
+    serve)
+      # bga_serve protocol + live-socket smoke (tests/test_serve.cpp);
+      # the same suite also runs under the tsan stage via its labels.
+      configure default build
+      cmake --build --preset default -j "${JOBS}" --target test_serve
+      ctest --test-dir build -L serve_smoke --output-on-failure -j "${JOBS}"
+      ;;
     asan)
       configure asan build-asan
       cmake --build --preset asan -j "${JOBS}"
@@ -43,7 +50,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
       ;;
     *)
-      echo "ci_check: unknown stage '${stage}' (expected: default asan tsan)" >&2
+      echo "ci_check: unknown stage '${stage}' (expected: default serve asan tsan)" >&2
       exit 2
       ;;
   esac
