@@ -33,6 +33,8 @@ void register_fig13(Registry& registry);
 void register_fig14(Registry& registry);
 void register_fig15(Registry& registry);
 void register_repro2002(Registry& registry);
+void register_scenario_hijack(Registry& registry);
+void register_table_rov_trend(Registry& registry);
 void register_ablation_sanitizer(Registry& registry);
 void register_ablation_vps(Registry& registry);
 void register_extra_quality(Registry& registry);

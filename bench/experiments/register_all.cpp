@@ -26,6 +26,8 @@ void register_all_experiments(Registry& registry) {
   register_fig14(registry);
   register_fig15(registry);
   register_repro2002(registry);
+  register_scenario_hijack(registry);
+  register_table_rov_trend(registry);
   register_ablation_sanitizer(registry);
   register_ablation_vps(registry);
   register_extra_quality(registry);

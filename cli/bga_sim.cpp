@@ -8,6 +8,7 @@
 // bgp::read_archive_file.
 #include <cstdio>
 #include <iostream>
+#include <limits>
 
 #include "bgp/archive.h"
 #include "bgp/textdump.h"
@@ -24,10 +25,14 @@ constexpr char kUsage[] =
     "usage: bga_sim [options] -o <output.bga>\n"
     "  --year <y>      fractional year, 2002..2024.75 (default 2024.75)\n"
     "  --scale <s>     fraction of real Internet size (default 0.01)\n"
-    "  --seed <n>      RNG seed (default 42)\n"
+    "  --seed <n>      RNG seed, >= 0 (default 42)\n"
     "  --v6            IPv6 era instead of IPv4\n"
     "  --updates <h>   also emit an update stream of <h> hours (default 0)\n"
     "  --stability     capture +8h/+24h/+1w snapshots with policy churn\n"
+    "  --hijacks <n>   schedule <n> origin hijacks over the campaign\n"
+    "  --subhijacks <n> schedule <n> sub-prefix hijacks\n"
+    "  --leaks <n>     schedule <n> route leaks\n"
+    "  --rov           era-calibrated ROV adoption + ROA table\n"
     "  --text          additionally dump the first snapshot as text\n"
     "  --metrics       print instrumentation counters/timers to stderr\n"
     "                  on exit\n"
@@ -54,7 +59,10 @@ int main(int argc, char** argv) {
   // policy as the integer options.
   const double year = args.get_double("year", 2024.75, 1990.0, 2100.0);
   const double scale = args.get_double("scale", 0.01, 1e-6, 1e3);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  // A negative seed would wrap through the uint64 cast to a surprising
+  // (but valid-looking) universe; reject it at the parse boundary.
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", 42, 0, std::numeric_limits<long>::max()));
   const double update_hours = args.get_double("updates", 0, 0.0, 24.0 * 366);
 
   const topo::EraParams era = args.has("v6")
@@ -68,7 +76,18 @@ int main(int argc, char** argv) {
   routing::SimOptions opt;
   opt.seed = seed;
   opt.weekly_churn = args.has("stability");
+  opt.scenario.origin_hijacks =
+      static_cast<int>(args.get_int("hijacks", 0, 0, 1000));
+  opt.scenario.subprefix_hijacks =
+      static_cast<int>(args.get_int("subhijacks", 0, 0, 1000));
+  opt.scenario.route_leaks =
+      static_cast<int>(args.get_int("leaks", 0, 0, 1000));
+  opt.scenario.rov = args.has("rov");
   routing::Simulator sim(topo::generate_topology(era, seed), opt);
+  if (!sim.incidents().empty()) {
+    std::fprintf(stderr, "scheduled %zu scenario incident(s)\n",
+                 sim.incidents().size());
+  }
 
   sim.capture();
   if (update_hours > 0) {

@@ -25,6 +25,7 @@ Campaign run_campaign(const CampaignConfig& config) {
     routing::SimOptions opt;
     opt.seed = config.seed;
     opt.weekly_churn = config.with_stability;
+    opt.scenario = config.scenario;
     routing::Simulator sim(topo::generate_topology(c.era, config.seed), opt);
 
     sim.capture();
@@ -39,6 +40,7 @@ Campaign run_campaign(const CampaignConfig& config) {
     }
 
     c.events_applied = sim.events_applied();
+    c.incidents = sim.incidents();
     c.topology = sim.take_topology();
     c.data = std::make_shared<bgp::Dataset>(sim.take_dataset());
   }

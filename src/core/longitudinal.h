@@ -35,6 +35,9 @@ struct CampaignConfig {
   int force_collectors = 0;
   int force_peers = 0;
   double force_full_feed_frac = 0.0;
+  /// Scenario engine: scheduled hijacks/leaks + ROV deployment. Default
+  /// (all off) leaves the campaign byte-identical to pre-scenario output.
+  routing::ScenarioOptions scenario;
 };
 
 /// A fully analyzed campaign. Owns the captured data (shared, so derived
@@ -51,6 +54,8 @@ struct Campaign {
   topo::Topology topology;
   /// Composition events the simulator applied (tests/diagnostics).
   std::size_t events_applied = 0;
+  /// Scenario incidents the simulator scheduled (empty with scenarios off).
+  std::vector<routing::ScenarioIncident> incidents;
   /// Sanitized view + atoms per captured snapshot (deque: stable addresses).
   std::deque<SanitizedSnapshot> sanitized;
   std::deque<AtomSet> atom_sets;

@@ -1,0 +1,92 @@
+// Pluggable per-AS routing policy.
+//
+// The Propagator's Dijkstra relaxation consults a PolicyEngine for every
+// edge decision, splitting the classic hardwired Gao-Rexford behaviour
+// into three composable hooks:
+//
+//   * allow_export — may AS `from` export this source's route over an
+//     edge (valley-free export rule + per-unit policy knobs: restricted
+//     announcement, NO_EXPORT, transit rules, prepending),
+//   * allow_import — may the receiving AS accept the route (ROV drops
+//     invalid announcements at validating ASes here),
+//   * selection_rank — an extra selection key ordered directly after
+//     path preference and length (lower wins; a depref-style ROV policy
+//     ranks invalid sources worse instead of dropping them),
+//   * leaks — marks a transit as violating the valley-free export rule
+//     (route leak): the Propagator re-runs propagation with the leaker's
+//     learned route re-exported to its providers and peers.
+//
+// A route computation can have several sources (multi-origin prefixes:
+// MOAS, origin hijacks), each with its own origin, unit policy and ROV
+// validity; the engine receives the concrete source for every decision.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/policy.h"
+#include "routing/rov.h"
+#include "topo/as_graph.h"
+
+namespace bgpatoms::routing {
+
+/// One origin announcing the destination under computation.
+struct RouteSource {
+  topo::NodeId origin = topo::kNoNode;
+  /// Origination policy; nullptr = default announce-everywhere.
+  const UnitPolicy* policy = nullptr;
+  /// The (prefix, origin) pair fails ROV where anyone validates.
+  bool rov_invalid = false;
+};
+
+class PolicyEngine {
+ public:
+  virtual ~PolicyEngine() = default;
+
+  /// May `from` (holding `src`'s route; `from_is_origin` when it is the
+  /// route's origin itself) export over the edge to `to`? Sets `prepend`
+  /// to the number of extra ASN copies the hop adds.
+  virtual bool allow_export(const RouteSource& src, bool from_is_origin,
+                            topo::NodeId from, const topo::Neighbor& to,
+                            std::uint8_t& prepend) const = 0;
+
+  /// May `node` accept `src`'s route at all? Called before the candidate
+  /// enters best-path selection.
+  virtual bool allow_import(const RouteSource& src,
+                            topo::NodeId node) const = 0;
+
+  /// Extra selection key, compared after (route class, path length) and
+  /// before the deterministic neighbor tie-break; lower wins.
+  virtual std::uint32_t selection_rank(const RouteSource& src,
+                                       std::uint16_t source_index) const = 0;
+
+  /// True when `node` re-exports learned routes in violation of the
+  /// valley-free rule (route leak).
+  virtual bool leaks(topo::NodeId node) const = 0;
+};
+
+/// The standard model: Gao-Rexford export with the per-unit policy knobs,
+/// optional ROV dropping at validating ASes, optionally one leaking
+/// transit. With `rov == nullptr` and no leaker this reproduces the
+/// pre-engine Propagator behaviour bit-for-bit.
+class GaoRexfordEngine final : public PolicyEngine {
+ public:
+  explicit GaoRexfordEngine(const topo::AsGraph& graph,
+                            const RovState* rov = nullptr,
+                            topo::NodeId leaker = topo::kNoNode)
+      : graph_(graph), rov_(rov), leaker_(leaker) {}
+
+  bool allow_export(const RouteSource& src, bool from_is_origin,
+                    topo::NodeId from, const topo::Neighbor& to,
+                    std::uint8_t& prepend) const override;
+  bool allow_import(const RouteSource& src, topo::NodeId node) const override;
+  std::uint32_t selection_rank(const RouteSource& src,
+                               std::uint16_t source_index) const override;
+  bool leaks(topo::NodeId node) const override;
+
+ private:
+  const topo::AsGraph& graph_;
+  const RovState* rov_;
+  topo::NodeId leaker_;
+};
+
+}  // namespace bgpatoms::routing

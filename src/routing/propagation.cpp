@@ -13,86 +13,101 @@ using topo::Rel;
 
 Propagator::Propagator(const AsGraph& graph) : graph_(graph) {}
 
-bool Propagator::export_allowed(NodeId origin, const UnitPolicy* policy,
-                                NodeId from, const Neighbor& to,
-                                std::uint8_t& prepend) const {
-  prepend = 0;
-  if (policy == nullptr) return true;
-
-  if (from == origin) {
-    if (!policy->announce_to.empty()) {
-      // announce_to stores neighbor indices; recover the index of `to`.
-      const auto& nbs = graph_.node(from).neighbors;
-      std::uint16_t idx = UINT16_MAX;
-      for (std::uint16_t i = 0; i < nbs.size(); ++i) {
-        if (&nbs[i] == &to) {
-          idx = i;
-          break;
-        }
-      }
-      bool allowed = false;
-      for (std::uint16_t a : policy->announce_to) {
-        if (a == idx) {
-          allowed = true;
-          break;
-        }
-      }
-      if (!allowed) return false;
-    }
-    if (policy->prepend_count > 0) {
-      const auto& nbs = graph_.node(from).neighbors;
-      for (std::uint16_t a : policy->prepend_to) {
-        if (a < nbs.size() && &nbs[a] == &to) {
-          prepend = policy->prepend_count;
-          break;
-        }
-      }
-    }
-  } else if (policy->no_export) {
-    return false;  // NO_EXPORT: the first AS keeps the route to itself
-  }
-
-  for (const auto& rule : policy->transit_rules) {
-    if (rule.at != from) continue;
-    switch (rule.kind) {
-      case TransitRule::Kind::kBlockNeighbor:
-        if (to.node == rule.neighbor) return false;
-        break;
-      case TransitRule::Kind::kBlockRegionExport:
-        if (graph_.node(to.node).region == rule.region) return false;
-        break;
-      case TransitRule::Kind::kPrependRegionExport:
-        if (graph_.node(to.node).region == rule.region) {
-          prepend = static_cast<std::uint8_t>(prepend + rule.prepend);
-        }
-        break;
-    }
-  }
-  return true;
+void Propagator::compute(NodeId origin, const UnitPolicy* policy,
+                         RouteTable& out) const {
+  const RouteSource source{origin, policy, /*rov_invalid=*/false};
+  const GaoRexfordEngine engine(graph_);
+  compute(std::span<const RouteSource>(&source, 1), engine, out);
 }
 
-void Propagator::compute(NodeId origin, const UnitPolicy* policy,
-                         RouteTable& t) const {
+void Propagator::compute(std::span<const RouteSource> sources,
+                         const PolicyEngine& engine, RouteTable& t) const {
+  compute_pass(sources, engine, {}, {}, t);
+
+  // Route-leak second pass: re-run with every reachable leaker's learned
+  // route re-exported valley-violatingly. A leaker whose route is already
+  // customer-class (or its own) exports everywhere under the normal rule,
+  // so only peer/provider-class leaker routes need the extra pass.
+  std::vector<NodeId> leakers;
+  for (NodeId v = 0; v < graph_.size(); ++v) {
+    if (!engine.leaks(v)) continue;
+    if (t.cls[v] != RouteClass::kPeer && t.cls[v] != RouteClass::kProvider) {
+      continue;
+    }
+    leakers.push_back(v);
+  }
+  if (leakers.empty()) return;
+
+  // Pin each leaker's full first-pass parent chain: those ASes are on the
+  // leaked route's AS path and would reject the looped announcement, so
+  // they keep their original entries (this is what keeps parent chains
+  // acyclic in the second pass).
+  std::vector<PinnedEntry> pinned;
+  std::vector<char> seen(graph_.size(), 0);
+  for (const NodeId leaker : leakers) {
+    NodeId cur = leaker;
+    while (!seen[cur]) {
+      seen[cur] = 1;
+      pinned.push_back(PinnedEntry{cur, t.dist[cur], t.cls[cur],
+                                   t.parent[cur], t.edge_prepend[cur],
+                                   t.source[cur]});
+      if (t.cls[cur] == RouteClass::kSelf) break;
+      cur = t.parent[cur];
+    }
+  }
+  compute_pass(sources, engine, pinned, leakers, t);
+}
+
+void Propagator::compute_pass(std::span<const RouteSource> sources,
+                              const PolicyEngine& engine,
+                              std::span<const PinnedEntry> pinned,
+                              std::span<const topo::NodeId> leakers,
+                              RouteTable& t) const {
   const std::size_t n = graph_.size();
   t.dist.assign(n, UINT32_MAX);
   t.cls.assign(n, RouteClass::kNone);
   t.parent.assign(n, kNoNode);
   t.edge_prepend.assign(n, 0);
+  t.source.assign(n, kNoSource);
 
-  t.dist[origin] = 0;
-  t.cls[origin] = RouteClass::kSelf;
+  for (std::uint16_t i = 0; i < sources.size(); ++i) {
+    const NodeId origin = sources[i].origin;
+    if (t.cls[origin] != RouteClass::kNone) continue;  // first source wins
+    t.dist[origin] = 0;
+    t.cls[origin] = RouteClass::kSelf;
+    t.source[origin] = i;
+  }
+  for (const PinnedEntry& e : pinned) {
+    if (t.cls[e.node] != RouteClass::kNone) continue;  // origins stay kSelf
+    t.dist[e.node] = e.dist;
+    t.cls[e.node] = e.cls;
+    t.parent[e.node] = e.parent;
+    t.edge_prepend[e.node] = e.prepend;
+    t.source[e.node] = e.source;
+  }
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       pq;
 
-  // Pushes a candidate route at `to` learned from `from`.
-  auto relax = [&](NodeId from, const Neighbor& to) {
+  // Pushes a candidate route at `to` learned from `from`. `leak_edge`
+  // bypasses the export rule (valley-violating re-export); the import
+  // filter still applies.
+  auto relax = [&](NodeId from, const Neighbor& to, bool leak_edge = false) {
     if (t.cls[to.node] != RouteClass::kNone) return;  // finalized earlier
+    const std::uint16_t si = t.source[from];
+    const RouteSource& src = sources[si];
     std::uint8_t prepend = 0;
-    if (!export_allowed(origin, policy, from, to, prepend)) return;
+    if (!leak_edge) {
+      const bool from_is_origin = t.cls[from] == RouteClass::kSelf;
+      if (!engine.allow_export(src, from_is_origin, from, to, prepend)) {
+        return;
+      }
+    }
+    if (!engine.allow_import(src, to.node)) return;
     const std::uint32_t d = t.dist[from] + 1 + prepend;
-    pq.push(QueueEntry{d, graph_.node(from).asn, to.node, from, prepend});
+    pq.push(QueueEntry{d, engine.selection_rank(src, si),
+                       graph_.node(from).asn, to.node, from, prepend, si});
   };
 
   // Runs one Dijkstra phase: nodes popped get `assign_cls`; the popped
@@ -106,6 +121,7 @@ void Propagator::compute(NodeId origin, const UnitPolicy* policy,
       t.dist[e.node] = e.dist;
       t.parent[e.node] = e.parent;
       t.edge_prepend[e.node] = e.prepend;
+      t.source[e.node] = e.source;
       for (const auto& nb : graph_.node(e.node).neighbors) {
         if (edge_ok(nb.rel)) relax(e.node, nb);
       }
@@ -116,8 +132,30 @@ void Propagator::compute(NodeId origin, const UnitPolicy* policy,
   const auto climb_ok = [](Rel r) {
     return r == Rel::kProvider || r == Rel::kSibling;
   };
-  for (const auto& nb : graph_.node(origin).neighbors) {
-    if (climb_ok(nb.rel)) relax(origin, nb);
+  if (pinned.empty()) {
+    for (const RouteSource& s : sources) {
+      if (t.source[s.origin] == kNoSource) continue;
+      for (const auto& nb : graph_.node(s.origin).neighbors) {
+        if (climb_ok(nb.rel)) relax(s.origin, nb);
+      }
+    }
+  } else {
+    // Leak pass: pinned chain nodes were finalized before this phase, so
+    // their climb edges must be re-relaxed here too.
+    for (NodeId u = 0; u < n; ++u) {
+      if (t.cls[u] != RouteClass::kSelf && t.cls[u] != RouteClass::kCustomer)
+        continue;
+      for (const auto& nb : graph_.node(u).neighbors) {
+        if (climb_ok(nb.rel)) relax(u, nb);
+      }
+    }
+  }
+  // The leaked route reaches the leaker's providers as if customer-
+  // learned: it enters selection as customer class at the receivers.
+  for (const NodeId leaker : leakers) {
+    for (const auto& nb : graph_.node(leaker).neighbors) {
+      if (nb.rel == Rel::kProvider) relax(leaker, nb, /*leak_edge=*/true);
+    }
   }
   drain(RouteClass::kCustomer, climb_ok);
 
@@ -127,6 +165,11 @@ void Propagator::compute(NodeId origin, const UnitPolicy* policy,
       continue;
     for (const auto& nb : graph_.node(u).neighbors) {
       if (nb.rel == Rel::kPeer) relax(u, nb);
+    }
+  }
+  for (const NodeId leaker : leakers) {
+    for (const auto& nb : graph_.node(leaker).neighbors) {
+      if (nb.rel == Rel::kPeer) relax(leaker, nb, /*leak_edge=*/true);
     }
   }
   drain(RouteClass::kPeer, [](Rel r) { return r == Rel::kSibling; });
@@ -146,7 +189,8 @@ void Propagator::compute(NodeId origin, const UnitPolicy* policy,
 
 net::AsPath Propagator::extract_path(const RouteTable& t,
                                      NodeId node) const {
-  if (!t.reachable(node) || t.cls[node] == RouteClass::kSelf) {
+  if (node >= t.cls.size() || t.cls[node] == RouteClass::kNone ||
+      t.cls[node] == RouteClass::kSelf) {
     return net::AsPath();
   }
   std::vector<net::Asn> hops;

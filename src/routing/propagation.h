@@ -1,27 +1,40 @@
-// Valley-free (Gao-Rexford) best-path computation.
+// Valley-free (Gao-Rexford) best-path computation over a pluggable
+// per-AS policy engine.
 //
-// For one destination (an origin AS announcing a unit under a given
-// policy), computes every AS's best route under the standard model:
+// For one destination — a set of RouteSources announcing the same unit
+// (usually one origin; several for MOAS prefixes and origin hijacks) —
+// computes every AS's best route under the standard model:
 //
 //   * export: customer-learned routes go to everyone; peer/provider-learned
 //     routes go to customers only; sibling edges re-export everything,
 //   * selection: customer-learned > peer-learned > provider-learned, then
-//     shortest AS path (prepending included), then lowest next-hop ASN.
+//     shortest AS path (prepending included), then the engine's
+//     selection_rank, then lowest next-hop ASN.
 //
 // The computation runs in three phases (customer routes climbing provider
 // edges, a single peer-edge step, provider routes descending customer
-// edges), each a Dijkstra over prepend-weighted hop counts. Policy knobs —
-// restricted origin announcement, NO_EXPORT, per-unit transit rules,
-// prepending — are applied as edge filters/weights during relaxation, so a
-// policy change produces exactly the path changes real BGP would converge
-// to.
+// edges), each a Dijkstra over prepend-weighted hop counts. Every edge
+// decision — export rule, import filter, extra selection key — is
+// delegated to a PolicyEngine (policy_engine.h), so restricted
+// announcement, NO_EXPORT, transit rules, prepending and ROV dropping are
+// applied during relaxation and a policy change produces exactly the path
+// changes real BGP would converge to.
+//
+// Route leaks: when the engine marks a reachable transit as leaking, a
+// second pass re-runs propagation with the leaker's learned route
+// re-exported to its providers and peers as if customer-learned — the
+// classic valley violation. The leaker's own upstream path is pinned from
+// the first pass (its ASes would reject the looped announcement), which
+// keeps parent chains acyclic.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/aspath.h"
 #include "routing/policy.h"
+#include "routing/policy_engine.h"
 #include "topo/as_graph.h"
 
 namespace bgpatoms::routing {
@@ -35,12 +48,17 @@ enum class RouteClass : std::uint8_t {
   kNone = 255,
 };
 
+/// RouteTable::source value for unreachable nodes.
+constexpr std::uint16_t kNoSource = UINT16_MAX;
+
 /// Per-node routing outcome of one propagation run.
 struct RouteTable {
   std::vector<std::uint32_t> dist;     // AS-path entry count; UINT32_MAX = ∞
   std::vector<RouteClass> cls;
   std::vector<topo::NodeId> parent;    // neighbor the route was learned from
   std::vector<std::uint8_t> edge_prepend;  // extra parent-ASN copies on hop
+  /// Index of the winning RouteSource per node (kNoSource = unreachable).
+  std::vector<std::uint16_t> source;
 
   bool reachable(topo::NodeId v) const {
     return cls[v] != RouteClass::kNone;
@@ -51,15 +69,22 @@ class Propagator {
  public:
   explicit Propagator(const topo::AsGraph& graph);
 
-  /// Computes routes toward `origin` for a unit with `policy` (nullptr =
-  /// default announce-everywhere policy). Reuses `out`'s storage. Const and
-  /// state-free: concurrent calls are safe with distinct `out` tables.
+  /// Computes routes toward `sources` (each an origin announcing the unit)
+  /// with every edge decision delegated to `engine`. Reuses `out`'s
+  /// storage. Const and state-free: concurrent calls are safe with
+  /// distinct `out` tables.
+  void compute(std::span<const RouteSource> sources,
+               const PolicyEngine& engine, RouteTable& out) const;
+
+  /// Single-origin convenience (nullptr = default announce-everywhere
+  /// policy) through the default GaoRexfordEngine; identical output to
+  /// the pre-engine Propagator.
   void compute(topo::NodeId origin, const UnitPolicy* policy,
                RouteTable& out) const;
 
   /// The AS path stored in `node`'s RIB for this run: wire order, nearest
   /// hop first, origin last; the node's own ASN is NOT included. Empty if
-  /// unreachable or if `node` is the origin.
+  /// unreachable or if `node` is an origin.
   net::AsPath extract_path(const RouteTable& table, topo::NodeId node) const;
 
   /// Hops (ASN entry count) of extract_path without building it.
@@ -72,23 +97,39 @@ class Propagator {
  private:
   struct QueueEntry {
     std::uint32_t dist;
+    std::uint32_t rank;   // engine selection_rank (0 for the default)
     net::Asn parent_asn;  // deterministic tie-break
     topo::NodeId node;
     topo::NodeId parent;
     std::uint8_t prepend;
+    std::uint16_t source;
 
     friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
       if (a.dist != b.dist) return a.dist > b.dist;
+      if (a.rank != b.rank) return a.rank > b.rank;
       if (a.parent_asn != b.parent_asn) return a.parent_asn > b.parent_asn;
       return a.node > b.node;
     }
   };
 
-  /// True if `from` may export this unit to `to_neighbor` given the phase
-  /// semantics and the unit policy; sets `prepend` to the extra hop count.
-  bool export_allowed(topo::NodeId origin, const UnitPolicy* policy,
-                      topo::NodeId from, const topo::Neighbor& to,
-                      std::uint8_t& prepend) const;
+  /// One leaked-route entry pinned from the first pass.
+  struct PinnedEntry {
+    topo::NodeId node;
+    std::uint32_t dist;
+    RouteClass cls;
+    topo::NodeId parent;
+    std::uint8_t prepend;
+    std::uint16_t source;
+  };
+
+  /// One full three-phase propagation. `pinned` entries (leak pass) are
+  /// finalized up front; `leakers` additionally re-export to providers
+  /// and peers.
+  void compute_pass(std::span<const RouteSource> sources,
+                    const PolicyEngine& engine,
+                    std::span<const PinnedEntry> pinned,
+                    std::span<const topo::NodeId> leakers,
+                    RouteTable& out) const;
 
   const topo::AsGraph& graph_;
 };

@@ -1,0 +1,84 @@
+#include "routing/rov.h"
+
+#include <algorithm>
+
+#include "net/ip.h"
+
+namespace bgpatoms::routing {
+
+void RoaTable::add(const net::Prefix& prefix, net::Asn origin,
+                   std::uint8_t max_length) {
+  by_prefix_[prefix].push_back(Roa{prefix, origin, max_length});
+  ++count_;
+}
+
+RovStatus RoaTable::validate(const net::Prefix& announced,
+                             net::Asn origin) const {
+  if (count_ == 0) return RovStatus::kUnknown;
+  bool covered = false;
+  // One lookup per candidate covering length: a ROA for a /L aggregate is
+  // found by masking the announcement down to /L.
+  for (int len = announced.length(); len >= 0; --len) {
+    const net::Prefix covering(announced.address(), len);
+    const auto it = by_prefix_.find(covering);
+    if (it == by_prefix_.end()) continue;
+    for (const Roa& roa : it->second) {
+      covered = true;
+      if (roa.origin == origin && announced.length() <= roa.max_length) {
+        return RovStatus::kValid;
+      }
+    }
+  }
+  return covered ? RovStatus::kInvalid : RovStatus::kUnknown;
+}
+
+void RovState::set_validating(topo::NodeId node, bool on) {
+  if (node >= validating_.size()) validating_.resize(node + 1, 0);
+  if ((validating_[node] != 0) == on) return;
+  validating_[node] = on ? 1 : 0;
+  n_validating_ += on ? 1 : -1;
+}
+
+double RovState::validating_fraction() const {
+  if (validating_.empty()) return 0.0;
+  return static_cast<double>(n_validating_) /
+         static_cast<double>(validating_.size());
+}
+
+void RovState::seed_adoption(const topo::AsGraph& graph, double adoption,
+                             Rng& rng) {
+  validating_.assign(graph.size(), 0);
+  n_validating_ = 0;
+  if (adoption <= 0.0 || graph.size() == 0) return;
+
+  // Tier weights (deployment concentrated at large carriers); normalized
+  // so the expected validating share over all ASes equals `adoption`.
+  auto weight = [](topo::Tier t) {
+    switch (t) {
+      case topo::Tier::kTier1:
+        return 3.0;
+      case topo::Tier::kTransit:
+        return 2.0;
+      case topo::Tier::kContent:
+        return 1.5;
+      case topo::Tier::kEdge:
+        return 0.8;
+    }
+    return 1.0;
+  };
+  double total = 0.0;
+  for (topo::NodeId v = 0; v < graph.size(); ++v) {
+    total += weight(graph.node(v).tier);
+  }
+  const double norm =
+      adoption * static_cast<double>(graph.size()) / std::max(total, 1.0);
+  for (topo::NodeId v = 0; v < graph.size(); ++v) {
+    const double p = std::min(1.0, weight(graph.node(v).tier) * norm);
+    if (rng.next_double() < p) {
+      validating_[v] = 1;
+      ++n_validating_;
+    }
+  }
+}
+
+}  // namespace bgpatoms::routing

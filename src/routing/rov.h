@@ -1,0 +1,88 @@
+// Route Origin Validation state: a ROA table plus per-AS adoption.
+//
+// A ROA (Route Origin Authorization) says "origin AS X may announce any
+// subnet of P up to /maxLength". Validation of an announced (prefix,
+// origin) pair returns kUnknown when no ROA covers the prefix, kValid
+// when a covering ROA matches origin and length, and kInvalid otherwise.
+// RovState adds the deployment side: which ASes actually validate (drop
+// kInvalid routes on import). Adoption is seeded from the era-calibrated
+// `rov_adoption` curve (topo::EraParams), weighted toward large transit
+// networks the way real deployment has been.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/prefix.h"
+#include "net/rng.h"
+#include "topo/as_graph.h"
+
+namespace bgpatoms::routing {
+
+enum class RovStatus : std::uint8_t {
+  kUnknown = 0,  // no covering ROA
+  kValid = 1,    // covering ROA matches origin and maxLength
+  kInvalid = 2,  // covered, but wrong origin or too-specific
+};
+
+struct Roa {
+  net::Prefix prefix;
+  net::Asn origin = 0;
+  std::uint8_t max_length = 0;
+};
+
+/// Validated Roa set indexed by covering prefix. validate() checks every
+/// covering aggregate of the announced prefix (one hash lookup per
+/// length), so it stays cheap even with large tables.
+class RoaTable {
+ public:
+  void add(const net::Prefix& prefix, net::Asn origin,
+           std::uint8_t max_length);
+
+  /// RFC 6811 origin validation of one announced (prefix, origin) pair.
+  RovStatus validate(const net::Prefix& announced, net::Asn origin) const;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::unordered_map<net::Prefix, std::vector<Roa>, net::PrefixHash>
+      by_prefix_;
+  std::size_t count_ = 0;
+};
+
+/// Who validates, and against what. Default-constructed state has ROV
+/// fully off: nobody validates, every pair is kUnknown.
+class RovState {
+ public:
+  RoaTable& roas() { return roas_; }
+  const RoaTable& roas() const { return roas_; }
+
+  bool validating(topo::NodeId node) const {
+    return node < validating_.size() && validating_[node] != 0;
+  }
+  void set_validating(topo::NodeId node, bool on);
+
+  /// Share of known nodes that validate (0 when never seeded).
+  double validating_fraction() const;
+  std::size_t validating_count() const { return n_validating_; }
+
+  RovStatus validate(const net::Prefix& announced, net::Asn origin) const {
+    return roas_.validate(announced, origin);
+  }
+
+  /// Seeds per-AS validating flags for `adoption` (expected fraction of
+  /// all ASes), weighted toward tier-1/transit networks: real ROV
+  /// deployment concentrated at large carriers first. Deterministic in
+  /// (graph, rng state).
+  void seed_adoption(const topo::AsGraph& graph, double adoption, Rng& rng);
+
+ private:
+  RoaTable roas_;
+  std::vector<char> validating_;
+  std::size_t n_validating_ = 0;
+};
+
+}  // namespace bgpatoms::routing

@@ -41,7 +41,8 @@ Simulator::Simulator(topo::Topology topo, SimOptions opt)
       opt_(opt),
       policies_(assign_policies(topo_, opt.seed)),
       propagator_(topo_.graph),
-      rng_(opt.seed ^ 0x51f0c0de12345678ULL) {
+      rng_(opt.seed ^ 0x51f0c0de12345678ULL),
+      scenario_rng_(opt.seed ^ 0x5ce2a1053c0ffee5ULL) {
   assert(!(opt_.weekly_churn && opt_.daily_event_rate > 0) &&
          "use either the weekly churn schedule or daily events, not both");
   ds_.family = topo_.params.family;
@@ -74,6 +75,14 @@ Simulator::Simulator(topo::Topology topo, SimOptions opt)
     flappy_vp2_ = flappy_vp_;
   }
   if (opt_.weekly_churn) schedule_weekly_churn();
+
+  // Scenario setup runs last (overlay units must not shift the churn
+  // schedule's per-unit draws) and touches only scenario_rng_, so with
+  // scenarios off the simulator is byte-identical to the pre-scenario one.
+  unit_suppressed_.assign(policies_.units.size(), 0);
+  unit_roa_covered_.assign(policies_.units.size(), 0);
+  unit_rov_invalid_.assign(policies_.units.size(), 0);
+  if (opt_.scenario.enabled()) init_scenarios();
 }
 
 // ---------------------------------------------------------------------------
@@ -159,11 +168,24 @@ void Simulator::extend_daily_schedule(bgp::Timestamp until) {
 void Simulator::advance_to(bgp::Timestamp t) {
   assert(t >= now_);
   if (opt_.daily_event_rate > 0) extend_daily_schedule(t);
-  while (!schedule_.empty() && schedule_.front().time <= t) {
-    const Event e = schedule_.front();
-    schedule_.pop_front();
-    apply_event(e);
-    ++events_applied_;
+  // Drain both queues in time order (churn first on ties, preserving the
+  // pre-scenario order); the scenario queue is empty with scenarios off.
+  for (;;) {
+    const bool churn = !schedule_.empty() && schedule_.front().time <= t;
+    const bool scen =
+        !scenario_schedule_.empty() && scenario_schedule_.front().time <= t;
+    if (!churn && !scen) break;
+    if (churn &&
+        (!scen || schedule_.front().time <= scenario_schedule_.front().time)) {
+      const Event e = schedule_.front();
+      schedule_.pop_front();
+      apply_event(e);
+      ++events_applied_;
+    } else {
+      const ScenarioTransition tr = scenario_schedule_.front();
+      scenario_schedule_.pop_front();
+      apply_transition(tr, /*invert=*/false);
+    }
   }
   now_ = std::max(now_, t);
 }
@@ -288,6 +310,11 @@ void Simulator::split_unit(UnitId u, bool vp_local) {
   unit_dirty_[u] = 1;
   unit_paths_.emplace_back();
   unit_dirty_.push_back(1);
+  unit_suppressed_.push_back(0);
+  // The split-off unit keeps the parent's prefixes, so it inherits the
+  // parent's ROA coverage and validity.
+  unit_roa_covered_.push_back(unit_roa_covered_[u]);
+  unit_rov_invalid_.push_back(unit_rov_invalid_[u]);
   policies_.units_by_origin[nu.origin].push_back(nu.id);
   split_history_.emplace_back(u, nu.id);
   policies_.units.push_back(std::move(nu));
@@ -323,10 +350,11 @@ void Simulator::refresh_unit_paths() {
   // share one propagation run.
   std::vector<UnitId> dirty;
   for (UnitId u = 0; u < unit_dirty_.size(); ++u) {
-    if (unit_dirty_[u] && !policies_.units[u].prefixes.empty()) {
+    if (unit_dirty_[u] && !policies_.units[u].prefixes.empty() &&
+        !unit_suppressed_[u]) {
       dirty.push_back(u);
     } else if (unit_dirty_[u]) {
-      unit_paths_[u].clear();  // emptied by a merge
+      unit_paths_[u].clear();  // emptied by a merge, or suppressed overlay
       unit_dirty_[u] = 0;
     }
   }
@@ -343,9 +371,12 @@ void Simulator::refresh_unit_paths() {
     for (std::size_t a = i; a < j; ++a) {
       if (done[a - i]) continue;
       std::vector<UnitId> group{dirty[a]};
+      const std::uint64_t scen_key = scenario_unit_key(dirty[a]);
       for (std::size_t b = a + 1; b < j; ++b) {
-        if (!done[b - i] && policies_.units[dirty[b]].policy ==
-                                policies_.units[dirty[a]].policy) {
+        if (!done[b - i] &&
+            policies_.units[dirty[b]].policy ==
+                policies_.units[dirty[a]].policy &&
+            scenario_unit_key(dirty[b]) == scen_key) {
           group.push_back(dirty[b]);
           done[b - i] = 1;
         }
@@ -359,9 +390,30 @@ void Simulator::refresh_unit_paths() {
 void Simulator::compute_unit_group(NodeId origin,
                                    const std::vector<UnitId>& group) {
   static const UnitPolicy kDefaultPolicy{};
-  const UnitPolicy& pol = policies_.units[group[0]].policy;
+  const UnitId rep = group[0];
+  const UnitPolicy& pol = policies_.units[rep].policy;
   const UnitPolicy* pp = pol == kDefaultPolicy ? nullptr : &pol;
-  propagator_.compute(origin, pp, scratch_table_);
+  if (scenario_unit_key(rep) == 0) {
+    // No scenario state in play for this unit: the legacy single-origin
+    // path, byte-identical to the pre-scenario simulator.
+    propagator_.compute(origin, pp, scratch_table_);
+  } else {
+    std::vector<RouteSource> sources;
+    sources.push_back(
+        {origin, pp, rov_active_ && unit_rov_invalid_[rep] != 0});
+    if (const auto hij = hijack_origin_.find(rep);
+        hij != hijack_origin_.end()) {
+      // The hijacker originates the same destination with a default
+      // policy; invalid wherever the victim's prefixes hold ROAs.
+      sources.push_back({hij->second, nullptr,
+                         rov_active_ && unit_roa_covered_[rep] != 0});
+    }
+    const auto lk = unit_leaker_.find(rep);
+    const NodeId leaker = lk == unit_leaker_.end() ? kNoNode : lk->second;
+    const GaoRexfordEngine engine(topo_.graph, rov_active_ ? &rov_ : nullptr,
+                                  leaker);
+    propagator_.compute(sources, engine, scratch_table_);
+  }
 
   std::vector<VpPath> paths;
   const auto& vps = topo_.vantage_points;
@@ -413,7 +465,7 @@ std::size_t Simulator::capture() {
   std::vector<std::vector<bgp::RibRecord>> recs(vps.size());
 
   for (const auto& unit : policies_.units) {
-    if (unit.prefixes.empty()) continue;
+    if (unit.prefixes.empty() || unit_suppressed_[unit.id]) continue;
     const bgp::CommunitySetId comms =
         ds_.communities.intern(unit.policy.communities);
     for (const auto& entry : unit_paths_[unit.id]) {
@@ -617,6 +669,10 @@ void Simulator::emit_updates(bgp::Timestamp duration) {
     out.push_back(std::move(rec));
   }
 
+  // Scenario incidents starting/resolving inside the window appear in the
+  // stream as withdraw/announce bursts at their transition times.
+  if (!scenario_schedule_.empty()) emit_scenario_bursts(out, duration);
+
   std::sort(out.begin(), out.end(),
             [](const bgp::UpdateRecord& a, const bgp::UpdateRecord& b) {
               return a.timestamp < b.timestamp;
@@ -672,6 +728,284 @@ void Simulator::emit_unit_event(std::vector<bgp::UpdateRecord>& out,
 void Simulator::drop_snapshot(std::size_t index) {
   ds_.snapshots.erase(ds_.snapshots.begin() +
                       static_cast<std::ptrdiff_t>(index));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario engine
+// ---------------------------------------------------------------------------
+
+void Simulator::init_scenarios() {
+  rov_active_ = opt_.scenario.rov;
+  if (rov_active_) seed_rov();
+
+  incidents_ =
+      schedule_incidents(topo_, policies_, opt_.scenario, scenario_rng_);
+
+  // ROV adoption waves only make sense with ROV on.
+  if (!rov_active_) {
+    std::erase_if(incidents_, [](const ScenarioIncident& inc) {
+      return inc.kind == ScenarioKind::kRovAdopt;
+    });
+  }
+
+  // Sub-prefix overlay units are created up front so prefix and unit ids
+  // stay stable for the whole campaign; incidents whose candidate
+  // more-specifics all collide with existing prefixes are dropped.
+  std::unordered_map<net::Prefix, char, net::PrefixHash> existing;
+  existing.reserve(policies_.all_prefixes.size());
+  for (const auto& pfx : policies_.all_prefixes) existing[pfx] = 1;
+  std::erase_if(incidents_, [&](ScenarioIncident& inc) {
+    return inc.kind == ScenarioKind::kSubPrefixHijack &&
+           !create_overlay_unit(inc, existing);
+  });
+
+  // Precompute each adoption wave's ASes (against the flags as they will
+  // be when the wave fires) so applying and reverting a wave is exact.
+  if (rov_active_) {
+    std::vector<char> pending(topo_.graph.size(), 0);
+    for (NodeId v = 0; v < topo_.graph.size(); ++v) {
+      pending[v] = rov_.validating(v) ? 1 : 0;
+    }
+    for (auto& inc : incidents_) {
+      if (inc.kind != ScenarioKind::kRovAdopt) continue;
+      for (NodeId v = 0; v < topo_.graph.size(); ++v) {
+        if (!pending[v] && scenario_rng_.chance(0.07)) {
+          pending[v] = 1;
+          inc.adopter_nodes.push_back(v);
+        }
+      }
+    }
+  }
+
+  std::vector<ScenarioTransition> transitions;
+  for (std::uint32_t i = 0; i < incidents_.size(); ++i) {
+    transitions.push_back({incidents_[i].start, i, /*starts=*/true});
+    if (incidents_[i].end > 0) {
+      transitions.push_back({incidents_[i].end, i, /*starts=*/false});
+    }
+  }
+  std::stable_sort(transitions.begin(), transitions.end(),
+                   [](const ScenarioTransition& a, const ScenarioTransition& b) {
+                     return a.time < b.time;
+                   });
+  scenario_schedule_.assign(transitions.begin(), transitions.end());
+}
+
+void Simulator::seed_rov() {
+  const auto& p = topo_.params;
+  const double adoption = opt_.scenario.rov_adoption_override >= 0
+                              ? opt_.scenario.rov_adoption_override
+                              : p.rov_adoption;
+  const double coverage = opt_.scenario.roa_coverage_override >= 0
+                              ? opt_.scenario.roa_coverage_override
+                              : p.roa_coverage;
+  rov_.seed_adoption(topo_.graph, adoption, scenario_rng_);
+  if (coverage <= 0.0) return;
+  for (const auto& unit : policies_.units) {
+    if (!scenario_rng_.chance(coverage)) continue;
+    unit_roa_covered_[unit.id] = 1;
+    // A misconfigured ROA (stale origin / too-tight maxLength) makes the
+    // unit's own legitimate announcement invalid.
+    const bool mis = scenario_rng_.chance(p.roa_misconfig);
+    unit_rov_invalid_[unit.id] = mis ? 1 : 0;
+    const net::Asn origin_asn = topo_.graph.node(unit.origin).asn;
+    for (GlobalPrefixId pid : unit.prefixes) {
+      const net::Prefix& pfx = policies_.all_prefixes[pid];
+      rov_.roas().add(pfx, mis ? origin_asn + 1 : origin_asn,
+                      static_cast<std::uint8_t>(pfx.length()));
+    }
+  }
+}
+
+bool Simulator::create_overlay_unit(
+    ScenarioIncident& inc,
+    std::unordered_map<net::Prefix, char, net::PrefixHash>& existing) {
+  // By value: the all_prefixes push_back below would invalidate references.
+  const net::Prefix base =
+      policies_.all_prefixes[policies_.units[inc.victim_unit].prefixes[0]];
+  for (const auto& [extra, upper] :
+       {std::pair{1, false}, {1, true}, {2, false}, {2, true}}) {
+    const auto cand = make_subprefix(base, extra, upper);
+    if (!cand || existing.count(*cand)) continue;
+    existing[*cand] = 1;
+    const auto pid =
+        static_cast<GlobalPrefixId>(policies_.all_prefixes.size());
+    policies_.all_prefixes.push_back(*cand);
+    ds_.prefixes.intern(*cand);  // appended last: GlobalPrefixId == PrefixId
+
+    OriginUnit nu;
+    nu.id = static_cast<UnitId>(policies_.units.size());
+    nu.origin = inc.actor;
+    nu.prefixes = {pid};
+    inc.overlay_unit = nu.id;
+    prefix_unit_.push_back(nu.id);
+    unit_paths_.emplace_back();
+    unit_dirty_.push_back(1);
+    unit_suppressed_.push_back(1);  // invisible until the incident starts
+    unit_roa_covered_.push_back(0);
+    // Invalid wherever the victim's covering ROA exists (its maxLength is
+    // the victim prefix's own length, so any more-specific fails).
+    unit_rov_invalid_.push_back(
+        rov_active_ && unit_roa_covered_[inc.victim_unit] ? 1 : 0);
+    // Deliberately NOT added to units_by_origin: overlay units must not
+    // participate in merges or update-train clustering.
+    policies_.units.push_back(std::move(nu));
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::scenario_unit_key(UnitId u) const {
+  if (!opt_.scenario.enabled()) return 0;
+  std::uint64_t key = rov_active_ && unit_rov_invalid_[u] ? 1 : 0;
+  if (const auto it = hijack_origin_.find(u); it != hijack_origin_.end()) {
+    key |= (std::uint64_t{it->second} + 1) << 1;
+    if (rov_active_ && unit_roa_covered_[u]) key |= std::uint64_t{1} << 43;
+  }
+  if (const auto it = unit_leaker_.find(u); it != unit_leaker_.end()) {
+    key |= (std::uint64_t{it->second} + 1) << 22;
+  }
+  return key;
+}
+
+std::vector<UnitId> Simulator::leak_affected_units(NodeId leaker) const {
+  const net::Asn leaker_asn = topo_.graph.node(leaker).asn;
+  const auto cap = static_cast<std::size_t>(
+      std::max(1, opt_.scenario.leak_units_max));
+  std::vector<UnitId> out;
+  for (UnitId u = 0; u < policies_.units.size() && out.size() < cap; ++u) {
+    if (policies_.units[u].prefixes.empty() || unit_suppressed_[u]) continue;
+    if (policies_.units[u].origin == leaker) continue;
+    for (const auto& entry : unit_paths_[u]) {
+      const auto hops = ds_.paths.get(entry.path).flat();
+      if (std::find(hops.begin(), hops.end(), leaker_asn) != hops.end()) {
+        out.push_back(u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<UnitId> Simulator::apply_transition(const ScenarioTransition& tr,
+                                                bool invert) {
+  ScenarioIncident& inc = incidents_[tr.incident];
+  const bool starting = tr.starts != invert;
+  std::vector<UnitId> touched;
+  switch (inc.kind) {
+    case ScenarioKind::kOriginHijack:
+      if (starting) {
+        hijack_origin_[inc.victim_unit] = inc.actor;
+      } else {
+        hijack_origin_.erase(inc.victim_unit);
+      }
+      touched.push_back(inc.victim_unit);
+      break;
+    case ScenarioKind::kSubPrefixHijack:
+      unit_suppressed_[inc.overlay_unit] = starting ? 0 : 1;
+      touched.push_back(inc.overlay_unit);
+      break;
+    case ScenarioKind::kRouteLeak:
+      if (starting) {
+        // Blast radius: units currently routed through the leaker, picked
+        // from the computed tables (deterministic, no RNG — emit_updates
+        // previews transitions and must replay them exactly).
+        if (tr.starts && !invert) {
+          refresh_unit_paths();
+          inc.affected = leak_affected_units(inc.actor);
+        }
+        for (UnitId u : inc.affected) unit_leaker_[u] = inc.actor;
+      } else {
+        for (UnitId u : inc.affected) unit_leaker_.erase(u);
+      }
+      touched = inc.affected;
+      break;
+    case ScenarioKind::kRovAdopt:
+      for (NodeId v : inc.adopter_nodes) rov_.set_validating(v, starting);
+      // Adoption only moves routes whose computation sees an invalid
+      // source: misconfigured units and active hijacks.
+      for (UnitId u = 0; u < policies_.units.size(); ++u) {
+        if (unit_rov_invalid_[u] || hijack_origin_.count(u) != 0 ||
+            unit_leaker_.count(u) != 0) {
+          touched.push_back(u);
+        }
+      }
+      break;
+  }
+  for (UnitId u : touched) unit_dirty_[u] = 1;
+  return touched;
+}
+
+void Simulator::emit_scenario_bursts(std::vector<bgp::UpdateRecord>& out,
+                                     bgp::Timestamp duration) {
+  const bgp::Timestamp horizon = now_ + duration;
+  std::vector<ScenarioTransition> window;
+  for (const auto& tr : scenario_schedule_) {
+    if (tr.time >= horizon) break;  // queue is sorted
+    window.push_back(tr);
+  }
+  if (window.empty()) return;
+
+  // Preview protocol: apply each in-window transition in order, diff the
+  // touched units' vantage-point paths, emit the burst — then revert
+  // everything in reverse order. No RNG is consumed, and advance_to later
+  // replays the exact same transitions permanently.
+  for (const auto& tr : window) {
+    const std::vector<UnitId> touched = apply_transition(tr, /*invert=*/false);
+    std::vector<std::vector<VpPath>> before;
+    before.reserve(touched.size());
+    for (UnitId u : touched) before.push_back(unit_paths_[u]);
+    refresh_unit_paths();
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      diff_unit_updates(out, touched[i], before[i],
+                        opt_.base_time + tr.time);
+    }
+  }
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    apply_transition(*it, /*invert=*/true);
+  }
+  refresh_unit_paths();  // restore the real (pre-preview) tables
+}
+
+void Simulator::diff_unit_updates(std::vector<bgp::UpdateRecord>& out,
+                                  UnitId u,
+                                  const std::vector<VpPath>& before,
+                                  bgp::Timestamp t) {
+  const OriginUnit& unit = policies_.units[u];
+  const auto& after = unit_paths_[u];
+  const bgp::CommunitySetId comms =
+      ds_.communities.intern(unit.policy.communities);
+  // Both lists are sorted by vp; merge-diff them. Fixed 1s spacing between
+  // per-session bursts keeps the preview deterministic.
+  bgp::Timestamp tc = t;
+  std::size_t i = 0, j = 0;
+  auto emit = [&](std::uint16_t vp, bgp::PathId path, bool withdraw) {
+    const auto collector = topo_.vantage_points[vp].collector;
+    auto recs = withdraw
+                    ? bgp::pack_updates(ds_, tc, collector, vp,
+                                        net::PathPool::kEmptyPathId, 0, {},
+                                        unit.prefixes)
+                    : bgp::pack_updates(ds_, tc, collector, vp, path, comms,
+                                        unit.prefixes, {});
+    for (auto& r : recs) out.push_back(std::move(r));
+    tc += 1;
+  };
+  while (i < before.size() || j < after.size()) {
+    if (j >= after.size() ||
+        (i < before.size() && before[i].vp < after[j].vp)) {
+      emit(before[i].vp, 0, /*withdraw=*/true);  // session lost the route
+      ++i;
+    } else if (i >= before.size() || after[j].vp < before[i].vp) {
+      emit(after[j].vp, after[j].path, /*withdraw=*/false);  // new route
+      ++j;
+    } else {
+      if (before[i].path != after[j].path) {
+        emit(after[j].vp, after[j].path, /*withdraw=*/false);  // changed
+      }
+      ++i;
+      ++j;
+    }
+  }
 }
 
 }  // namespace bgpatoms::routing

@@ -33,6 +33,8 @@
 #include "net/rng.h"
 #include "routing/policy.h"
 #include "routing/propagation.h"
+#include "routing/rov.h"
+#include "routing/scenario.h"
 #include "topo/topology.h"
 
 namespace bgpatoms::routing {
@@ -52,6 +54,11 @@ struct SimOptions {
   double daily_event_rate = 0.0;
   /// Base wall-clock of the campaign (snapshot timestamps are base+now).
   bgp::Timestamp base_time = 0;
+  /// Scenario engine: scheduled hijacks/leaks plus ROV deployment. The
+  /// default (everything off) is byte-identical to a simulator without
+  /// the scenario engine; scenario randomness runs on a dedicated RNG
+  /// stream so enabling it never perturbs the churn schedule.
+  ScenarioOptions scenario;
 };
 
 class Simulator {
@@ -84,6 +91,20 @@ class Simulator {
   /// Number of composition events applied so far (tests/diagnostics).
   std::size_t events_applied() const { return events_applied_; }
 
+  /// Scheduled scenario incidents (empty unless SimOptions::scenario asks
+  /// for any). Route-leak `affected` lists fill in when the leak starts.
+  const std::vector<ScenarioIncident>& incidents() const { return incidents_; }
+
+  /// ROV deployment state (default — nobody validates — unless
+  /// SimOptions::scenario.rov is set).
+  const RovState& rov() const { return rov_; }
+
+  /// True while `u` is a not-yet-started (or already resolved) scenario
+  /// overlay unit: excluded from captures and update emission.
+  bool unit_suppressed(UnitId u) const {
+    return u < unit_suppressed_.size() && unit_suppressed_[u] != 0;
+  }
+
   /// Moves the captured dataset out of the simulator — the campaign layer
   /// keeps only the data, not the machinery that produced it. The
   /// simulator must not be used after.
@@ -110,6 +131,13 @@ class Simulator {
     friend bool operator==(const VpPath&, const VpPath&) = default;
   };
 
+  /// One edge of a scenario incident's lifetime on the scenario queue.
+  struct ScenarioTransition {
+    bgp::Timestamp time = 0;
+    std::uint32_t incident = 0;  // index into incidents_
+    bool starts = true;
+  };
+
   void schedule_weekly_churn();
   void extend_daily_schedule(bgp::Timestamp until);
   void apply_event(const Event& e);
@@ -133,6 +161,28 @@ class Simulator {
                        bgp::CommunitySetId comms, bgp::Timestamp t,
                        double frag_prob, bool withdraw_first);
 
+  // --- scenario engine ---
+  void init_scenarios();
+  void seed_rov();
+  bool create_overlay_unit(ScenarioIncident& inc,
+                           std::unordered_map<net::Prefix, char,
+                                              net::PrefixHash>& existing);
+  /// Applies (or, with `invert`, exactly reverts) one incident-lifetime
+  /// edge; returns the units whose routes it touches, already marked
+  /// dirty. Consumes no RNG, so emit_updates can preview transitions.
+  std::vector<UnitId> apply_transition(const ScenarioTransition& tr,
+                                       bool invert);
+  std::vector<UnitId> leak_affected_units(topo::NodeId leaker) const;
+  /// Scenario state a unit's route computation depends on; units merge
+  /// into one propagation group only when their keys match (always 0
+  /// with scenarios off).
+  std::uint64_t scenario_unit_key(UnitId u) const;
+  void emit_scenario_bursts(std::vector<bgp::UpdateRecord>& out,
+                            bgp::Timestamp duration);
+  void diff_unit_updates(std::vector<bgp::UpdateRecord>& out, UnitId u,
+                         const std::vector<VpPath>& before,
+                         bgp::Timestamp t);
+
   topo::Topology topo_;
   SimOptions opt_;
   PolicySet policies_;
@@ -154,6 +204,21 @@ class Simulator {
   bgp::Timestamp scheduled_until_ = 0;
   std::vector<std::pair<UnitId, UnitId>> split_history_;
   std::size_t events_applied_ = 0;
+
+  // --- scenario state (inert unless opt_.scenario asks for anything) ---
+  Rng scenario_rng_;  // dedicated stream; rng_ never sees scenario draws
+  RovState rov_;
+  bool rov_active_ = false;
+  std::vector<ScenarioIncident> incidents_;
+  std::deque<ScenarioTransition> scenario_schedule_;  // sorted by time
+  std::vector<char> unit_suppressed_;
+  /// Unit's prefixes are ROA-covered (a hijack of them is ROV-invalid).
+  std::vector<char> unit_roa_covered_;
+  /// The unit's own announcement fails ROV (stale/misconfigured ROA for
+  /// real units; covered-victim more-specifics for overlay units).
+  std::vector<char> unit_rov_invalid_;
+  std::unordered_map<UnitId, topo::NodeId> hijack_origin_;  // active hijacks
+  std::unordered_map<UnitId, topo::NodeId> unit_leaker_;    // active leaks
 
   // caches / scratch
   RouteTable scratch_table_;

@@ -133,6 +133,16 @@ EraParams era_params_v4(double year, double scale) {
   p.churn_24h = interp(year, Y, kC24);
   p.churn_1w = interp(year, Y, kC1w);
 
+  // Routing security: RPKI starts ~2011, so the early anchors are zero.
+  // Adoption per RoVista/APNIC drop measurements; coverage per the NIST
+  // RPKI monitor; misconfig share shrinks as ROA tooling matured.
+  constexpr double kRov[] = {0, 0, 0, 0.01, 0.03, 0.12, 0.27, 0.33};
+  p.rov_adoption = interp(year, Y, kRov);
+  constexpr double kRoa[] = {0, 0, 0, 0.02, 0.08, 0.20, 0.45, 0.52};
+  p.roa_coverage = interp(year, Y, kRoa);
+  constexpr double kRoaBad[] = {0, 0, 0, 0.10, 0.08, 0.05, 0.02, 0.015};
+  p.roa_misconfig = interp(year, Y, kRoaBad);
+
   p.path_event_rate_4h = 1.2;
   p.flap_noise_rate = 0.012;
   p.split_events_per_day = std::max(8.0, 2200.0 * scale);
@@ -196,6 +206,15 @@ EraParams era_params_v6(double year, double scale) {
   constexpr double kPeers[] = {30, 80, 180, 350, 500, 700};
   p.n_peers = std::max(
       8, static_cast<int>(interp(year, Y, kPeers) * std::sqrt(scale) + 0.5));
+
+  // v6 RPKI trails v4 adoption by a couple of years but covers a larger
+  // share of announced space once it lands (fewer legacy allocations).
+  constexpr double kRov[] = {0, 0.01, 0.03, 0.12, 0.20, 0.33};
+  p.rov_adoption = interp(year, Y, kRov);
+  constexpr double kRoa[] = {0.02, 0.06, 0.15, 0.30, 0.40, 0.55};
+  p.roa_coverage = interp(year, Y, kRoa);
+  constexpr double kRoaBad[] = {0.08, 0.06, 0.04, 0.03, 0.02, 0.015};
+  p.roa_misconfig = interp(year, Y, kRoaBad);
 
   // CERNET FITI testbed (§5.1): 4,096 new ASNs each announcing one /32
   // subnet of 240a:a000::/20, starting 2021.

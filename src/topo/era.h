@@ -88,6 +88,16 @@ struct EraParams {
   double split_events_per_day = 8.0;  // daily atom-split events (Fig 6/7)
   double vp_local_split_frac = 0.6;   // share of splits local to one VP
 
+  // --- routing security (scenario engine; unread unless scenarios on) ---
+  // Share of ASes dropping ROV-invalid routes (RoVista/APNIC trend: zero
+  // before RPKI deployment begins ~2011, measurable from the late 2010s).
+  double rov_adoption = 0.0;
+  // Share of address space covered by ROAs (NIST RPKI monitor trend).
+  double roa_coverage = 0.0;
+  // Share of covered prefixes whose ROA mismatches the announcement
+  // (stale/misconfigured max-length), shrinking as tooling matured.
+  double roa_misconfig = 0.0;
+
   // --- IPv6 specials ---
   int fiti_ases = 0;  // CERNET FITI burst: /32-per-AS under one /20 block
 };

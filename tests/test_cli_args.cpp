@@ -190,6 +190,41 @@ TEST(ArgsDeathTest, NanNeverSatisfiesARange) {
               "--scale expects a number in");
 }
 
+// --- bga_sim parse boundary ---------------------------------------------
+// These mirror the exact bounds cli/bga_sim.cpp passes for its numeric
+// flags; a bounds change there must be reflected here.
+
+TEST(BgaSimDeathTest, YearOutsideSubstrateRangeExits) {
+  const auto args = parse({"--year", "1989"});
+  EXPECT_EXIT(args.get_double("year", 2024.75, 1990.0, 2100.0),
+              ::testing::ExitedWithCode(2),
+              "--year expects a number in \\[1990, 2100\\], got '1989'");
+}
+
+TEST(BgaSimDeathTest, ZeroScaleExits) {
+  // scale 0 would ask for an empty Internet; the simulator never sees it.
+  const auto args = parse({"--scale", "0"});
+  EXPECT_EXIT(args.get_double("scale", 0.01, 1e-6, 1e3),
+              ::testing::ExitedWithCode(2),
+              "--scale expects a number in \\[1e-06, 1000\\], got '0'");
+}
+
+TEST(BgaSimDeathTest, NegativeSeedExits) {
+  // A negative seed used to wrap through the uint64 cast into a
+  // valid-looking universe; it must die at the parse boundary instead.
+  const auto args = parse({"--seed", "-3"});
+  EXPECT_EXIT(
+      args.get_int("seed", 42, 0, std::numeric_limits<long>::max()),
+      ::testing::ExitedWithCode(2), "--seed expects an integer in");
+}
+
+TEST(BgaSimDeathTest, ScenarioCountsAreBounded) {
+  const auto args = parse({"--hijacks", "1001"});
+  EXPECT_EXIT(args.get_int("hijacks", 0, 0, 1000),
+              ::testing::ExitedWithCode(2),
+              "--hijacks expects an integer in \\[0, 1000\\], got '1001'");
+}
+
 TEST(Args, PrefixAccessor) {
   const auto args = parse({"--prefix", "10.0.0.0/8", "--lookup", "192.0.2.1"});
   const auto p = args.get_prefix("prefix");

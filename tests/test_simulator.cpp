@@ -238,6 +238,83 @@ TEST(Simulator, DropSnapshotKeepsOthers) {
   EXPECT_EQ(sim.dataset().snapshots[0].timestamp, t1);
 }
 
+TEST(Simulator, DropSnapshotMiddleAndLast) {
+  auto sim = make_sim();
+  sim.capture();
+  sim.advance_to(kDay);
+  sim.capture();
+  sim.advance_to(2 * kDay);
+  sim.capture();
+  const auto t0 = sim.dataset().snapshots[0].timestamp;
+  const auto t2 = sim.dataset().snapshots[2].timestamp;
+
+  sim.drop_snapshot(1);  // middle: neighbors must close ranks in order
+  ASSERT_EQ(sim.dataset().snapshots.size(), 2u);
+  EXPECT_EQ(sim.dataset().snapshots[0].timestamp, t0);
+  EXPECT_EQ(sim.dataset().snapshots[1].timestamp, t2);
+
+  sim.drop_snapshot(1);  // last: earlier snapshots untouched
+  ASSERT_EQ(sim.dataset().snapshots.size(), 1u);
+  EXPECT_EQ(sim.dataset().snapshots[0].timestamp, t0);
+
+  sim.drop_snapshot(0);  // sole remaining snapshot
+  EXPECT_TRUE(sim.dataset().snapshots.empty());
+}
+
+TEST(Simulator, DropSnapshotSupportsRollingWindowCampaign) {
+  // The daily-splits workflow keeps a bounded window: capture a day,
+  // analyze, drop the oldest. Record content must match a straight run
+  // that never dropped anything.
+  SimOptions opt;
+  opt.weekly_churn = false;
+  opt.daily_event_rate = 8.0;
+
+  auto rolling = make_sim(2019.0, 0.02, 5, opt);
+  auto straight = make_sim(2019.0, 0.02, 5, opt);
+  for (int day = 0; day < 4; ++day) {
+    rolling.advance_to(day * kDay + 1);
+    rolling.capture();
+    straight.advance_to(day * kDay + 1);
+    straight.capture();
+    while (rolling.dataset().snapshots.size() > 2) rolling.drop_snapshot(0);
+    ASSERT_LE(rolling.dataset().snapshots.size(), 2u);
+  }
+  // The rolling window's snapshots are the straight run's last two.
+  const auto& rs = rolling.dataset().snapshots;
+  const auto& ss = straight.dataset().snapshots;
+  ASSERT_EQ(rs.size(), 2u);
+  ASSERT_EQ(ss.size(), 4u);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const auto& a = rs[w];
+    const auto& b = ss[ss.size() - 2 + w];
+    EXPECT_EQ(a.timestamp, b.timestamp);
+    ASSERT_EQ(a.peers.size(), b.peers.size());
+    for (std::size_t p = 0; p < a.peers.size(); ++p) {
+      EXPECT_EQ(a.peers[p].records, b.peers[p].records);
+    }
+  }
+}
+
+TEST(Simulator, NonPositiveDailyEventRateSchedulesNothing) {
+  for (const double rate : {0.0, -3.5}) {
+    SimOptions opt;
+    opt.weekly_churn = false;
+    opt.daily_event_rate = rate;
+    auto sim = make_sim(2019.0, 0.02, 5, opt);
+    sim.capture();
+    sim.advance_to(5 * kDay);
+    sim.capture();
+    EXPECT_EQ(sim.events_applied(), 0u) << "rate " << rate;
+    // With no churn at all the two captures must be identical.
+    const auto& ds = sim.dataset();
+    ASSERT_EQ(ds.snapshots.size(), 2u);
+    for (std::size_t p = 0; p < ds.snapshots[0].peers.size(); ++p) {
+      EXPECT_EQ(ds.snapshots[0].peers[p].records,
+                ds.snapshots[1].peers[p].records);
+    }
+  }
+}
+
 TEST(Simulator, DailyEventModeGeneratesSplits) {
   SimOptions opt;
   opt.weekly_churn = false;
