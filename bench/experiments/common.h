@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/longitudinal.h"
 #include "report/experiment.h"
@@ -76,6 +77,24 @@ inline core::CampaignConfig repro_2002_config(const Context& ctx) {
   config.sanitize.min_collectors = 1;
   config.sanitize.min_peer_ases = 1;
   return config;
+}
+
+/// The §A8.2 biennial grid (2004, 2006, ..., 2024): one sweep job per
+/// year at `scale`, seeded `seed_base + year` — the full-feed-threshold
+/// trend fig12/fig13/table_vp_value all walk. Distinct seed bases keep
+/// the experiments' campaigns independent while staying reproducible.
+inline std::vector<core::SweepJob> full_feed_trend_jobs(const Context& ctx,
+                                                        double scale,
+                                                        int seed_base) {
+  std::vector<core::SweepJob> jobs;
+  for (double year = 2004.0; year <= 2024.76; year += 2.0) {
+    core::SweepJob job;
+    job.config.year = year;
+    job.config.scale = scale;
+    job.config.seed = ctx.seed(seed_base + static_cast<int>(year));
+    jobs.push_back(job);
+  }
+  return jobs;
 }
 
 }  // namespace bgpatoms::bench

@@ -35,6 +35,7 @@ void register_fig15(Registry& registry);
 void register_repro2002(Registry& registry);
 void register_scenario_hijack(Registry& registry);
 void register_table_rov_trend(Registry& registry);
+void register_table_vp_value(Registry& registry);
 void register_ablation_sanitizer(Registry& registry);
 void register_ablation_vps(Registry& registry);
 void register_extra_quality(Registry& registry);

@@ -28,6 +28,7 @@ void register_all_experiments(Registry& registry) {
   register_repro2002(registry);
   register_scenario_hijack(registry);
   register_table_rov_trend(registry);
+  register_table_vp_value(registry);
   register_ablation_sanitizer(registry);
   register_ablation_vps(registry);
   register_extra_quality(registry);

@@ -56,6 +56,14 @@ constexpr char kUsage[] =
     "                       arrays signature matrix) or 'reference' (the\n"
     "                       historical CSR kernel); output is bit-\n"
     "                       identical either way\n"
+    "  --vp-budget <n>      greedily select at most n vantage points on\n"
+    "                       the reference snapshot (core::select_vps) and\n"
+    "                       compute atoms from only those columns; later\n"
+    "                       snapshots are masked to the same peers\n"
+    "  --vp-min-fidelity <f> stop selecting once the masked partition\n"
+    "                       preserves fraction f of the full atom count\n"
+    "                       (in [0, 1]; 0 disables; combinable with\n"
+    "                       --vp-budget)\n"
     "  --metrics            print instrumentation counters/timers to\n"
     "                       stderr on exit\n";
 
@@ -133,6 +141,14 @@ int main(int argc, char** argv) {
   config.reference_snapshot = index;
   config.with_stability = args.has("stability");
 
+  // VP selection: a present --vp-budget must be >= 1 (0 would select
+  // nothing and a masked run over zero columns is never what was meant);
+  // --vp-min-fidelity is a fraction in [0, 1], NaN rejected at the parse
+  // boundary like every other numeric flag.
+  config.vp_budget = static_cast<std::size_t>(args.get_int(
+      "vp-budget", 0, 1, std::numeric_limits<long>::max()));
+  config.vp_min_fidelity = args.get_double("vp-min-fidelity", 0.0, 0.0, 1.0);
+
   if (args.has("trend")) {
     // Longitudinal mode: stream each archive with only the reference
     // products resident, and follow its update stream through the
@@ -181,6 +197,16 @@ int main(int argc, char** argv) {
               stats.mean_atom_size, stats.p99_atom_size,
               stats.largest_atom_size, 100 * stats.one_prefix_atom_share(),
               100 * stats.one_atom_as_share());
+
+  if (r.vp_selection) {
+    const auto& sel = *r.vp_selection;
+    std::printf("vp selection: %zu of %zu VPs keep %zu of %zu atoms "
+                "(fidelity %.4f, rand index %.4f)\n",
+                sel.vps.size(), sel.total_vps,
+                sel.steps.empty() ? std::size_t{0} : sel.steps.back().groups,
+                sel.full_groups, sel.fidelity,
+                sel.steps.empty() ? 1.0 : sel.steps.back().rand_index);
+  }
 
   if (args.has("formation")) {
     const auto f = core::formation_distance(atoms);

@@ -50,6 +50,31 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
                        const AnalysisConfig& config) {
   AnalysisResult out;
   const std::size_t ref = config.reference_snapshot;
+  const bool vp_select = config.vp_budget > 0 || config.vp_min_fidelity > 0.0;
+
+  // Masked-analysis state, filled when the reference snapshot runs
+  // select_vps. Later snapshots are masked by *peer identity* (asn,
+  // address, collector), not column position: sanitization can drop or
+  // reorder peers between snapshots, so the reference's column indices
+  // don't transfer.
+  std::vector<bgp::PeerIdentity> selected_peers;
+  AtomOptions ref_options = config.atoms;  // gains vp_subset at i == ref
+
+  // AtomOptions for a snapshot at-or-after the reference: the selected
+  // columns of `san`, or config.atoms untouched while no selection exists.
+  const auto options_for = [&](const SanitizedSnapshot& san) {
+    AtomOptions options = config.atoms;
+    if (!vp_select || !out.vp_selection) return options;
+    for (std::uint32_t col = 0; col < san.vps.size(); ++col) {
+      for (const bgp::PeerIdentity& peer : selected_peers) {
+        if (san.vps[col].peer == peer) {
+          options.vp_subset.push_back(col);
+          break;
+        }
+      }
+    }
+    return options;
+  };
 
   // Snapshots before the reference whose stability can only be computed
   // once the reference's atoms exist (reference_snapshot > 0). In
@@ -76,9 +101,32 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
     }
 
     if (keep) {
-      emplace_products(out.sanitized, out.atom_sets,
-                       sanitize_traced(snapshots, *snap, config.sanitize),
-                       config.atoms);
+      SanitizedSnapshot san =
+          sanitize_traced(snapshots, *snap, config.sanitize);
+      if (vp_select && i == ref) {
+        OBS_SPAN("analyze.vp_select");
+        AtomOptions probe = config.atoms;
+        probe.vp_subset.clear();
+        const AtomSignatureMatrix matrix =
+            AtomSignatureMatrix::build(san, probe, nullptr);
+        VpSelectOptions sel;
+        sel.budget = config.vp_budget;
+        sel.min_fidelity =
+            config.vp_min_fidelity > 0.0 ? config.vp_min_fidelity : 1.0;
+        sel.threads = config.atoms.threads;
+        out.vp_selection = select_vps(matrix, sel);
+        selected_peers.reserve(out.vp_selection->vps.size());
+        for (const std::uint32_t col : out.vp_selection->vps) {
+          selected_peers.push_back(san.vps[col].peer);
+        }
+        ref_options.vp_subset = out.vp_selection->vps;
+      }
+      // Pre-reference keep_all snapshots stay unmasked (streamed parity:
+      // the selection doesn't exist yet when they pass by).
+      const AtomOptions options = i == ref   ? ref_options
+                                  : i > ref  ? options_for(san)
+                                             : config.atoms;
+      emplace_products(out.sanitized, out.atom_sets, std::move(san), options);
       if (i == ref) out.reference_index = out.atom_sets.size() - 1;
     } else if (buffer) {
       emplace_products(pending_san, pending_atoms,
@@ -89,7 +137,7 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
       // for this iteration; i > ref, so the reference already exists.
       const SanitizedSnapshot san =
           sanitize_traced(snapshots, *snap, config.sanitize);
-      const AtomSet atoms = atoms_traced(san, config.atoms);
+      const AtomSet atoms = atoms_traced(san, options_for(san));
       out.stability.push_back(
           {i, san.timestamp, stability_traced(out.reference_atoms(), atoms)});
       continue;
@@ -143,7 +191,9 @@ AnalysisResult analyze(bgp::SnapshotView& snapshots,
       UpdateCorrelator corr(out.reference_atoms(), config.update_max_k);
       std::optional<IncrementalAtoms> inc;
       if (config.incremental) {
-        inc.emplace(out.reference(), snapshots.paths(), config.atoms);
+        // ref_options carries vp_subset when selection ran: the follow
+        // maintains the same masked partition the reference atoms hold.
+        inc.emplace(out.reference(), snapshots.paths(), ref_options);
       }
       for (auto chunk = updates->next_chunk(); !chunk.empty();
            chunk = updates->next_chunk()) {

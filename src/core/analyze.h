@@ -30,6 +30,7 @@
 #include "core/stability.h"
 #include "core/stats.h"
 #include "core/update_corr.h"
+#include "core/vp_value.h"
 
 namespace bgpatoms::core {
 
@@ -53,6 +54,19 @@ struct AnalysisConfig {
   bool keep_all = false;
   /// Largest entity size reported by the update correlation.
   std::size_t update_max_k = 16;
+  /// Greedy VP selection (core::select_vps) on the reference snapshot:
+  /// when either knob is set, the reference and every later snapshot
+  /// compute atoms from only the selected columns (matched onto later
+  /// snapshots by peer identity — column positions are not stable across
+  /// snapshots), and the incremental follow maintains the masked
+  /// partition. vp_budget caps the subset size (0 = uncapped);
+  /// vp_min_fidelity stops selection once that share of the full atom
+  /// partition is preserved (0 = off; with only a budget set, selection
+  /// still stops at fidelity 1.0). Snapshots *before* the reference are
+  /// analyzed unmasked: on the streamed path the selection does not
+  /// exist yet when they pass by.
+  std::size_t vp_budget = 0;
+  double vp_min_fidelity = 0.0;
 };
 
 /// Stability of one non-reference snapshot against the reference.
@@ -95,6 +109,11 @@ struct AnalysisResult {
   /// Filled when config.incremental maintained the partition through the
   /// update stream (requires with_updates and a reference snapshot).
   std::optional<LiveUpdateDrift> live;
+  /// The greedy VP selection computed on the reference snapshot when
+  /// config.vp_budget / vp_min_fidelity enabled masking: ranking,
+  /// fidelity curve, and the subset (reference-snapshot column indices)
+  /// the retained atom sets were computed from.
+  std::optional<VpSelection> vp_selection;
 
   bool has_reference() const { return reference_index < atom_sets.size(); }
   const SanitizedSnapshot& reference() const {

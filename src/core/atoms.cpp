@@ -76,6 +76,27 @@ void finalize_atom(AtomSet& out, OriginCache& origin_of, std::uint32_t a) {
 
 constexpr std::size_t kParallelMinPrefixes = 4096;
 
+/// Rejects malformed AtomOptions::vp_subset values before any kernel
+/// indexes through them: entries must be strictly ascending column
+/// indices into a snapshot with `vp_count` vantage points.
+void validate_vp_subset(const std::vector<std::uint32_t>& subset,
+                        std::size_t vp_count) {
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    if (subset[k] >= vp_count) {
+      throw std::invalid_argument(
+          "compute_atoms: vp_subset entry " + std::to_string(subset[k]) +
+          " out of range (snapshot has " + std::to_string(vp_count) +
+          " vantage points)");
+    }
+    if (k > 0 && subset[k] <= subset[k - 1]) {
+      throw std::invalid_argument(
+          "compute_atoms: vp_subset must be strictly ascending "
+          "(duplicate or descending entry " + std::to_string(subset[k]) +
+          ")");
+    }
+  }
+}
+
 }  // namespace
 
 namespace atoms_detail {
@@ -130,27 +151,39 @@ AtomSignatureMatrix AtomSignatureMatrix::build(
     const SanitizedSnapshot& snapshot, const AtomOptions& options,
     TaskPool* pool) {
   check_packing_limits(snapshot.vps.size(), snapshot.paths.size());
+  const auto& subset = options.vp_subset;
+  validate_vp_subset(subset, snapshot.vps.size());
+  const bool masked = !subset.empty();
 
   AtomSignatureMatrix m;
   m.num_prefixes_ = snapshot.prefixes.size();
-  m.num_vps_ = snapshot.vps.size();
+  m.num_vps_ = masked ? subset.size() : snapshot.vps.size();
   if (m.num_vps_ != 0 && m.num_prefixes_ > SIZE_MAX / 4 / m.num_vps_) {
     throw std::runtime_error(
         "compute_atoms: signature matrix dimensions overflow");
   }
   m.cells_.assign(m.num_prefixes_ * m.num_vps_, kAbsent);
 
+  // Column j of a masked build holds snapshot.vps[subset[j]]'s table —
+  // exactly the layout a snapshot holding only the selected tables would
+  // produce, which is what makes masked grouping bit-identical to a
+  // physical column drop.
+  const auto table_of = [&](std::size_t col) -> const VpTable& {
+    return snapshot.vps[masked ? subset[col] : col];
+  };
+
   // Optional method-(i) rewrite: map each used path id to its stripped
   // interned id. The sequential pass interns in first-encounter order
-  // (VP-major, table order) — the exact order the reference kernel's lazy
-  // interning produces — so the rewrite pool is bit-identical to it. The
-  // parallel fill below then only reads the mapping.
+  // (VP-major, selected-table order) — the exact order the reference
+  // kernel's lazy interning produces — so the rewrite pool is
+  // bit-identical to it. The parallel fill below then only reads the
+  // mapping.
   std::vector<std::uint32_t> remap;
   if (options.strip_prepends_before_grouping) {
     m.stripped_pool_ = std::make_shared<net::PathPool>();
     remap.assign(snapshot.paths.size(), UINT32_MAX);
-    for (const auto& table : snapshot.vps) {
-      for (const auto& [prefix, path] : table.routes) {
+    for (std::size_t col = 0; col < m.num_vps_; ++col) {
+      for (const auto& [prefix, path] : table_of(col).routes) {
         (void)prefix;
         if (remap[path] == UINT32_MAX) {
           remap[path] =
@@ -171,7 +204,7 @@ AtomSignatureMatrix AtomSignatureMatrix::build(
   std::uint32_t* cells = m.cells_.data();
   auto fill_vp = [&](std::size_t vp) {
     std::size_t pi = 0;
-    for (const auto& [prefix, path] : snapshot.vps[vp].routes) {
+    for (const auto& [prefix, path] : table_of(vp).routes) {
       while (prefixes[pi] != prefix) ++pi;
       const std::uint32_t id =
           remap.empty() ? path : remap[path];
@@ -198,13 +231,6 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
   out.snapshot = &snapshot;
 
   const std::size_t n = snapshot.prefixes.size();
-  const std::size_t num_vps = snapshot.vps.size();
-  std::size_t routes = 0;
-  for (const auto& table : snapshot.vps) routes += table.routes.size();
-  OBS_COUNT_N("atoms.prefixes", n);
-  OBS_COUNT_N("atoms.routes", routes);
-  OBS_COUNT_N("atoms.matrix_cells", n * num_vps);
-
   TaskPool pool(n >= kParallelMinPrefixes ? options.threads : 1);
 
   AtomSignatureMatrix matrix;
@@ -212,6 +238,20 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
     OBS_SPAN("atoms.matrix");
     matrix = AtomSignatureMatrix::build(snapshot, options, &pool);
   }
+
+  // Work counters reflect the effective (possibly vp_subset-masked)
+  // input: the grouping below never reads an unselected table.
+  const std::size_t num_vps = matrix.num_vps();
+  std::size_t routes = 0;
+  for (std::size_t col = 0; col < num_vps; ++col) {
+    const auto& table = options.vp_subset.empty()
+                            ? snapshot.vps[col]
+                            : snapshot.vps[options.vp_subset[col]];
+    routes += table.routes.size();
+  }
+  OBS_COUNT_N("atoms.prefixes", n);
+  OBS_COUNT_N("atoms.routes", routes);
+  OBS_COUNT_N("atoms.matrix_cells", n * num_vps);
 
   // Row hashing, chunked across the pool: contiguous 32-bit lanes through
   // the vectorizable mixer (net/hash.h).
@@ -302,6 +342,16 @@ AtomSet compute_atoms(const SanitizedSnapshot& snapshot,
 AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
                                 const AtomOptions& options) {
   check_packing_limits(snapshot.vps.size(), snapshot.paths.size());
+  validate_vp_subset(options.vp_subset, snapshot.vps.size());
+  // Masked runs iterate only the selected tables and pack subset-relative
+  // VP ids, mirroring the SoA matrix's column layout — so both kernels
+  // stay bit-identical to a physical column drop.
+  const bool masked = !options.vp_subset.empty();
+  const std::size_t num_vps =
+      masked ? options.vp_subset.size() : snapshot.vps.size();
+  const auto table_of = [&](std::size_t col) -> const VpTable& {
+    return snapshot.vps[masked ? options.vp_subset[col] : col];
+  };
   AtomSet out;
   out.snapshot = &snapshot;
 
@@ -335,8 +385,8 @@ AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
   // Entries per prefix arrive in ascending vp order because we iterate
   // tables in vp order.
   std::vector<std::uint32_t> counts(prefixes.size(), 0);
-  for (const auto& table : snapshot.vps) {
-    for (const auto& [prefix, path] : table.routes) {
+  for (std::size_t col = 0; col < num_vps; ++col) {
+    for (const auto& [prefix, path] : table_of(col).routes) {
       (void)path;
       ++counts[dense.at(prefix)];
     }
@@ -351,9 +401,9 @@ AtomSet compute_atoms_reference(const SanitizedSnapshot& snapshot,
     // The packed entry reserves the upper 32 bits for the VP id; the loop
     // counter must be at least that wide or it wraps (and never ends) past
     // 65535 VPs. check_packing_limits() above rejects wider snapshots.
-    for (std::uint32_t vp = 0;
-         vp < static_cast<std::uint32_t>(snapshot.vps.size()); ++vp) {
-      for (const auto& [prefix, path] : snapshot.vps[vp].routes) {
+    for (std::uint32_t vp = 0; vp < static_cast<std::uint32_t>(num_vps);
+         ++vp) {
+      for (const auto& [prefix, path] : table_of(vp).routes) {
         const std::uint32_t idx = dense.at(prefix);
         entries[cursor[idx]++] =
             (static_cast<std::uint64_t>(vp) << 32) | effective_path(path);

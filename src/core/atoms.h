@@ -41,6 +41,16 @@ struct AtomOptions {
   /// instead of the SoA matrix kernel. Output is bit-identical either
   /// way; the flag exists for A/B verification and perf comparison.
   bool use_reference_kernel = false;
+  /// Group on only these vantage-point columns (indices into
+  /// snapshot.vps, strictly ascending). Empty = all VPs. The output is
+  /// bit-identical to running on a snapshot holding exactly the selected
+  /// tables: Atom::paths vp ids are subset-relative (positions within
+  /// vp_subset), and prefixes invisible at every selected VP collapse
+  /// into one all-absent atom. The prefix universe itself never shrinks.
+  /// Throws std::invalid_argument for out-of-range, descending, or
+  /// duplicate entries. core::select_vps (vp_value.h) produces subsets in
+  /// this form.
+  std::vector<std::uint32_t> vp_subset;
 };
 
 /// Throws std::runtime_error when a snapshot exceeds the 32-bit packing
@@ -68,8 +78,13 @@ class AtomSignatureMatrix {
   /// Builds the matrix for `snapshot`. When
   /// `options.strip_prepends_before_grouping` is set, paths are rewritten
   /// through stripped_pool() (interned in first-encounter order, matching
-  /// the reference kernel's pool bit-for-bit). `pool` parallelizes the
-  /// column fill when provided; the result is identical with or without.
+  /// the reference kernel's pool bit-for-bit). A non-empty
+  /// options.vp_subset restricts the matrix to those columns: num_vps()
+  /// becomes the subset size and column j holds
+  /// snapshot.vps[vp_subset[j]]'s table, bit-identical to building over a
+  /// snapshot containing only the selected tables. `pool` parallelizes
+  /// the column fill when provided; the result is identical with or
+  /// without.
   static AtomSignatureMatrix build(const SanitizedSnapshot& snapshot,
                                    const AtomOptions& options = {},
                                    TaskPool* pool = nullptr);

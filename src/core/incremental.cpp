@@ -37,17 +37,24 @@ IncrementalAtoms::IncrementalAtoms(const SanitizedSnapshot& seed,
         "for incremental maintenance");
   }
   OBS_SPAN("atoms.incr.seed");
-  matrix_ = AtomSignatureMatrix::build(seed, {}, nullptr);
+  AtomOptions mask;
+  mask.vp_subset = options.vp_subset;
+  matrix_ = AtomSignatureMatrix::build(seed, mask, nullptr);
+  vp_cols_ = options.vp_subset;
 
   // UpdateRecord::peer indexes the raw snapshot's peers array; sanitize
   // recorded where each retained VP came from (VpTable::source_index).
+  // Under a vp_subset only the selected columns get a mapping, so
+  // updates from unselected peers fall through as "not retained" —
+  // matching what the masked batch kernels never see.
   std::size_t max_src = 0;
   for (const auto& vp : seed.vps) {
     max_src = std::max<std::size_t>(max_src, vp.source_index + 1);
   }
   vp_of_peer_.assign(max_src, kNoVp);
-  for (std::uint32_t col = 0; col < seed.vps.size(); ++col) {
-    vp_of_peer_[seed.vps[col].source_index] = col;
+  for (std::uint32_t col = 0; col < matrix_.num_vps(); ++col) {
+    const auto& vp = seed.vps[vp_cols_.empty() ? col : vp_cols_[col]];
+    vp_of_peer_[vp.source_index] = col;
   }
 
   // Seed grouping: the sequential first-encounter walk both batch kernels
@@ -306,12 +313,16 @@ SanitizedSnapshot IncrementalAtoms::rebuild_snapshot() const {
   s.paths = *pool_;
   s.prefixes = seed_->prefixes;
   s.report = seed_->report;
-  s.vps.reserve(seed_->vps.size());
+  // Only the maintained (possibly vp_subset-masked) columns materialize:
+  // compute_atoms() over the result with default options is then the
+  // recompute oracle for the masked partition too.
+  s.vps.reserve(matrix_.num_vps());
   const std::size_t n = matrix_.num_prefixes();
-  for (std::uint32_t col = 0; col < seed_->vps.size(); ++col) {
+  for (std::uint32_t col = 0; col < matrix_.num_vps(); ++col) {
+    const auto& src = seed_->vps[vp_cols_.empty() ? col : vp_cols_[col]];
     VpTable t;
-    t.peer = seed_->vps[col].peer;
-    t.source_index = seed_->vps[col].source_index;
+    t.peer = src.peer;
+    t.source_index = src.source_index;
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t c = matrix_.cell(i, col);
       if (c != AtomSignatureMatrix::kAbsent) {

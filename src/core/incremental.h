@@ -64,9 +64,14 @@ class IncrementalAtoms {
 
   /// Seeds the partition from `seed`'s signature matrix. `stream_paths`
   /// is the pool UpdateRecord::path ids refer to (the view/dataset pool);
-  /// it must outlive this object, as must `seed`. Throws
-  /// std::invalid_argument for options.strip_prepends_before_grouping
-  /// (method (i) is a batch research mode, not a serve path) and
+  /// it must outlive this object, as must `seed`. A non-empty
+  /// options.vp_subset maintains the column-masked partition instead:
+  /// column j tracks seed.vps[vp_subset[j]], updates from unselected
+  /// peers are ignored, and atoms()/rebuild_snapshot() carry
+  /// subset-relative VP ids — bit-identical to the masked batch kernels
+  /// at every boundary. Throws std::invalid_argument for
+  /// options.strip_prepends_before_grouping (method (i) is a batch
+  /// research mode, not a serve path) or a malformed vp_subset, and
   /// std::runtime_error past the 32-bit packing limits.
   IncrementalAtoms(const SanitizedSnapshot& seed,
                    const net::PathPool& stream_paths,
@@ -166,8 +171,12 @@ class IncrementalAtoms {
   /// stream path id -> id in pool_ (kUnmapped = not yet seen,
   /// kDroppedPath = multi-member AS_SET, announcement ignored).
   std::vector<std::uint32_t> path_memo_;
-  /// raw snapshot peer index -> VP column (kNoVp = peer not retained).
+  /// raw snapshot peer index -> VP column (kNoVp = peer not retained, or
+  /// not selected by vp_cols_).
   std::vector<std::uint32_t> vp_of_peer_;
+  /// Matrix column -> seed VP index (AtomOptions::vp_subset copy); empty
+  /// means the identity mapping (all seed VPs).
+  std::vector<std::uint32_t> vp_cols_;
 
   AtomSignatureMatrix matrix_;
 

@@ -159,6 +159,143 @@ TEST(AtomsKernel, UseReferenceKernelOptionDispatches) {
   expect_identical(compute_atoms(snap, opt), compute_atoms_reference(snap));
 }
 
+// ------------------------------------------------------- masked grouping
+
+/// Two datasets sharing prefix/path intern order for the selected peers:
+/// `full` declares the selected peers 100 and 300 first (columns 0 and
+/// 1), then unselected peers 200 and 400; `dropped` declares only 100
+/// and 300 with identical routes. Interning the selected routes first
+/// makes the retained prefix ids, the sanitized path ids, and therefore
+/// the whole masked computation byte-comparable across the two datasets.
+/// (Non-contiguous subsets are pinned against the whole matrix in
+/// MaskedMatrixHoldsSelectedColumnsOnly, where one pool serves both.)
+void build_masked_pair(DatasetBuilder& full, DatasetBuilder& dropped) {
+  const auto selected_routes = [](DatasetBuilder& b) {
+    b.peer(100);
+    for (int i = 0; i < 12; ++i) {
+      b.route("10.0." + std::to_string(i) + ".0/24",
+              "100 " + std::to_string(7 + i % 3) + " 1");
+    }
+    b.peer(300);
+    for (int i = 0; i < 12; ++i) {
+      if (i % 5 == 0) continue;  // visibility gaps at one selected VP
+      b.route("10.0." + std::to_string(i) + ".0/24",
+              "300 " + std::to_string(4 + i % 4) + " 1");
+    }
+  };
+  selected_routes(full);
+  // Unselected peers: distinct paths, partial tables, one prepended
+  // route — none of it may leak into the masked grouping.
+  full.peer(200);
+  for (int i = 0; i < 12; i += 2) {
+    full.route("10.0." + std::to_string(i) + ".0/24",
+               "200 " + std::to_string(9 + i % 5) + " 1");
+  }
+  full.peer(400).route("10.0.3.0/24", "400 400 1");
+
+  selected_routes(dropped);
+}
+
+TEST(AtomsKernel, MaskedSubsetEqualsPhysicallyDroppedColumns) {
+  DatasetBuilder full_b, dropped_b;
+  build_masked_pair(full_b, dropped_b);
+  const auto full = sanitize(full_b.dataset(), 0, test::lax_config());
+  const auto dropped = sanitize(dropped_b.dataset(), 0, test::lax_config());
+  ASSERT_EQ(full.vps.size(), 4u);
+  ASSERT_EQ(dropped.vps.size(), 2u);
+  ASSERT_EQ(full.prefixes, dropped.prefixes);
+
+  // The selected peers sit at columns 0 and 1 of the full snapshot.
+  ASSERT_EQ(full.vps[0].peer.asn, 100u);
+  ASSERT_EQ(full.vps[1].peer.asn, 300u);
+
+  for (const bool strip : {false, true}) {
+    for (const int threads : {1, 2, 8}) {
+      AtomOptions masked;
+      masked.vp_subset = {0, 1};
+      masked.strip_prepends_before_grouping = strip;
+      masked.threads = threads;
+      AtomOptions plain;
+      plain.strip_prepends_before_grouping = strip;
+      plain.threads = threads;
+
+      // SoA and reference kernels, each against the physically dropped
+      // snapshot run through the same kernel.
+      expect_identical(compute_atoms(full, masked),
+                       compute_atoms(dropped, plain));
+      expect_identical(compute_atoms_reference(full, masked),
+                       compute_atoms_reference(dropped, plain));
+      // And the two masked kernels against each other.
+      expect_identical(compute_atoms(full, masked),
+                       compute_atoms_reference(full, masked));
+    }
+  }
+}
+
+TEST(AtomsKernel, MaskedMatrixHoldsSelectedColumnsOnly) {
+  DatasetBuilder full_b, dropped_b;
+  build_masked_pair(full_b, dropped_b);
+  const auto full = sanitize(full_b.dataset(), 0, test::lax_config());
+
+  AtomOptions masked;
+  masked.vp_subset = {0, 2};
+  const auto m = AtomSignatureMatrix::build(full, masked);
+  const auto whole = AtomSignatureMatrix::build(full);
+  ASSERT_EQ(m.num_vps(), 2u);
+  ASSERT_EQ(m.num_prefixes(), whole.num_prefixes());
+  for (std::size_t i = 0; i < m.num_prefixes(); ++i) {
+    EXPECT_EQ(m.cell(i, 0), whole.cell(i, 0));
+    EXPECT_EQ(m.cell(i, 1), whole.cell(i, 2));
+  }
+}
+
+TEST(AtomsKernel, InvisiblePrefixesCollapseIntoOneAbsentAtom) {
+  // A prefix seen only by unselected peers stays in the universe and
+  // lands in the all-absent atom alongside every other invisible prefix.
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1");
+  b.peer(200)
+      .route("10.1.0.0/16", "200 1")
+      .route("10.2.0.0/16", "200 2");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+  ASSERT_EQ(snap.prefixes.size(), 3u);
+
+  AtomOptions masked;
+  masked.vp_subset = {0};
+  const auto atoms = compute_atoms(snap, masked);
+  ASSERT_EQ(atoms.atoms.size(), 2u);
+  // One atom carries 10.0/16 at the selected VP; the other holds both
+  // invisible prefixes and no paths at all.
+  const auto& visible =
+      atoms.atoms[0].paths.empty() ? atoms.atoms[1] : atoms.atoms[0];
+  const auto& absent =
+      atoms.atoms[0].paths.empty() ? atoms.atoms[0] : atoms.atoms[1];
+  EXPECT_EQ(visible.prefixes.size(), 1u);
+  ASSERT_EQ(visible.paths.size(), 1u);
+  EXPECT_EQ(visible.paths[0].first, 0u);  // subset-relative vp id
+  EXPECT_EQ(absent.prefixes.size(), 2u);
+  EXPECT_TRUE(absent.paths.empty());
+}
+
+TEST(AtomsKernel, MalformedVpSubsetThrows) {
+  DatasetBuilder b;
+  b.peer(100).route("10.0.0.0/16", "100 1");
+  b.peer(200).route("10.0.0.0/16", "200 1");
+  const auto snap = sanitize(b.dataset(), 0, test::lax_config());
+
+  for (const std::vector<std::uint32_t>& bad :
+       {std::vector<std::uint32_t>{2}, std::vector<std::uint32_t>{1, 0},
+        std::vector<std::uint32_t>{0, 0}}) {
+    AtomOptions opt;
+    opt.vp_subset = bad;
+    EXPECT_THROW(compute_atoms(snap, opt), std::invalid_argument);
+    opt.use_reference_kernel = true;
+    EXPECT_THROW(compute_atoms(snap, opt), std::invalid_argument);
+    opt.use_reference_kernel = false;
+    EXPECT_THROW(AtomSignatureMatrix::build(snap, opt), std::invalid_argument);
+  }
+}
+
 // ------------------------------------------------------ signature matrix
 
 TEST(AtomSignatureMatrixTest, DimensionsAndCells) {

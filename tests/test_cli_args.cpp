@@ -225,6 +225,57 @@ TEST(BgaSimDeathTest, ScenarioCountsAreBounded) {
               "--hijacks expects an integer in \\[0, 1000\\], got '1001'");
 }
 
+// --- bga_atoms vp-selection parse boundary ------------------------------
+// These mirror the exact bounds cli/bga_atoms.cpp passes for --vp-budget
+// and --vp-min-fidelity; a bounds change there must be reflected here.
+
+TEST(BgaAtomsDeathTest, ZeroVpBudgetExits) {
+  // A present budget of 0 would select nothing — grouping on zero
+  // columns is never what was meant, so the parse boundary rejects it.
+  const auto args = parse({"--vp-budget", "0"});
+  EXPECT_EXIT(
+      args.get_int("vp-budget", 0, 1, std::numeric_limits<long>::max()),
+      ::testing::ExitedWithCode(2), "--vp-budget expects an integer in");
+}
+
+TEST(BgaAtomsDeathTest, NegativeVpBudgetExits) {
+  const auto args = parse({"--vp-budget", "-5"});
+  EXPECT_EXIT(
+      args.get_int("vp-budget", 0, 1, std::numeric_limits<long>::max()),
+      ::testing::ExitedWithCode(2), "--vp-budget expects an integer in");
+}
+
+TEST(Args, AbsentVpBudgetFallsBackToDisabled) {
+  // The range only guards *present* values: the disabled-state fallback 0
+  // passes through untouched.
+  const auto args = parse({});
+  EXPECT_EQ(
+      args.get_int("vp-budget", 0, 1, std::numeric_limits<long>::max()), 0);
+}
+
+TEST(BgaAtomsDeathTest, VpMinFidelityAboveOneExits) {
+  const auto args = parse({"--vp-min-fidelity", "1.5"});
+  EXPECT_EXIT(args.get_double("vp-min-fidelity", 0.0, 0.0, 1.0),
+              ::testing::ExitedWithCode(2),
+              "--vp-min-fidelity expects a number in \\[0, 1\\], got '1.5'");
+}
+
+TEST(BgaAtomsDeathTest, NegativeVpMinFidelityExits) {
+  const auto args = parse({"--vp-min-fidelity", "-0.1"});
+  EXPECT_EXIT(args.get_double("vp-min-fidelity", 0.0, 0.0, 1.0),
+              ::testing::ExitedWithCode(2),
+              "--vp-min-fidelity expects a number in \\[0, 1\\]");
+}
+
+TEST(BgaAtomsDeathTest, NanVpMinFidelityExits) {
+  // NaN never satisfies a range — it must die at the parse boundary, not
+  // flow into the selection loop as an unreachable stopping condition.
+  const auto args = parse({"--vp-min-fidelity", "nan"});
+  EXPECT_EXIT(args.get_double("vp-min-fidelity", 0.0, 0.0, 1.0),
+              ::testing::ExitedWithCode(2),
+              "--vp-min-fidelity expects a number in");
+}
+
 TEST(Args, PrefixAccessor) {
   const auto args = parse({"--prefix", "10.0.0.0/8", "--lookup", "192.0.2.1"});
   const auto p = args.get_prefix("prefix");

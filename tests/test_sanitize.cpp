@@ -65,6 +65,35 @@ TEST(Sanitize, ExactlyNinetyPercentIsFullFeed) {
   EXPECT_EQ(snap.report.removed_peers[0].peer.asn, 300u);
 }
 
+TEST(Sanitize, BinaryEpsilonAtTheFullFeedBoundary) {
+  // 0.8 has no exact binary representation: 0.8 * 35 computes to
+  // 28.000000000000004, so a bare ceil() would demand 29 prefixes and
+  // silently drop a peer sitting exactly at 80%. The threshold is
+  // computed as ceil(fraction * max - 1e-9) to keep the >= rule exact
+  // under that representation error; this pins it.
+  DatasetBuilder b;
+  b.peer(100);
+  for (int i = 0; i < 35; ++i) {
+    b.route("10." + std::to_string(i) + ".0.0/16", "100 50");
+  }
+  b.peer(200);  // exactly 28 of 35 = 80%: must qualify
+  for (int i = 0; i < 28; ++i) {
+    b.route("10." + std::to_string(i) + ".0.0/16", "200 50");
+  }
+  b.peer(300);  // 27 of 35: one short, must not
+  for (int i = 0; i < 27; ++i) {
+    b.route("10." + std::to_string(i) + ".0.0/16", "300 50");
+  }
+  SanitizeConfig config;
+  config.min_collectors = 1;
+  config.min_peer_ases = 1;
+  config.full_feed_fraction = 0.8;
+  const auto snap = sanitize(b.dataset(), 0, config);
+  EXPECT_EQ(snap.report.full_feed_peers, 2u);
+  ASSERT_EQ(snap.report.removed_peers.size(), 1u);
+  EXPECT_EQ(snap.report.removed_peers[0].peer.asn, 300u);
+}
+
 TEST(Sanitize, FullFeedThresholdConfigurable) {
   DatasetBuilder b;
   b.peer(100);

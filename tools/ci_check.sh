@@ -3,8 +3,8 @@
 # the sanitizer presets over their labeled smoke subsets (see
 # CMakePresets.json and tests/CMakeLists.txt for the label wiring).
 #
-#   tools/ci_check.sh             # default + serve + asan + tsan
-#   tools/ci_check.sh default     # any subset of: default serve asan tsan
+#   tools/ci_check.sh             # default + serve + vp + asan + tsan
+#   tools/ci_check.sh default     # any subset of: default serve vp asan tsan
 #
 # Run from the repository root. Each stage is incremental: configure is
 # skipped when the preset's build directory already has a cache.
@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default serve asan tsan)
+  STAGES=(default serve vp asan tsan)
 fi
 
 configure() { # <preset> <builddir>
@@ -43,6 +43,13 @@ for stage in "${STAGES[@]}"; do
       cmake --build --preset default -j "${JOBS}" --target test_serve
       ctest --test-dir build -L serve_smoke --output-on-failure -j "${JOBS}"
       ;;
+    vp)
+      # VP-value selection smoke: the table_vp_value experiment at quarter
+      # scale under --strict-checks (cli/CMakeLists.txt wires the test).
+      configure default build
+      cmake --build --preset default -j "${JOBS}" --target bga_bench
+      ctest --test-dir build -L vp_smoke --output-on-failure -j "${JOBS}"
+      ;;
     asan)
       configure asan build-asan
       cmake --build --preset asan -j "${JOBS}"
@@ -54,7 +61,7 @@ for stage in "${STAGES[@]}"; do
       ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
       ;;
     *)
-      echo "ci_check: unknown stage '${stage}' (expected: default serve asan tsan)" >&2
+      echo "ci_check: unknown stage '${stage}' (expected: default serve vp asan tsan)" >&2
       exit 2
       ;;
   esac
